@@ -1,0 +1,97 @@
+"""TAB-ETA -- sensitivity to the step scale ``eta`` (paper Sections 5-6).
+
+Paper prose: *"For eta very small, convergence of the algorithm is
+guaranteed, but rather slowly.  As eta increases, the speed of convergence
+increases but the danger of no convergence increases. ... In practice, it is
+possible to choose a eta much larger to expedite the convergence, e.g. in
+hundreds of iterations."*
+
+This bench sweeps eta on the Figure-4 instance and reports iterations to 90%
+and 95% of the LP optimum plus the final utility.  Shape assertions:
+
+* every eta in the stable range converges to >= 90% of optimal;
+* iterations-to-95% decreases (weakly) from the smallest eta to the paper's
+  0.04 and beyond, until instability sets in;
+* at least one larger-than-paper eta reaches 95% in "hundreds of iterations".
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro import GradientAlgorithm, GradientConfig
+from repro.analysis import TableBuilder, iterations_to_fraction
+
+ETAS = [0.005, 0.01, 0.02, 0.04, 0.08, 0.16, 0.32]
+MAX_ITERATIONS = 4000
+
+
+def test_eta_sweep(benchmark, figure4_ext, figure4_lp):
+    optimum = figure4_lp.utility
+
+    def run_sweep():
+        rows = []
+        for eta in ETAS:
+            result = GradientAlgorithm(
+                figure4_ext,
+                GradientConfig(
+                    eta=eta, max_iterations=MAX_ITERATIONS, record_every=10
+                ),
+            ).run()
+            rows.append(
+                {
+                    "eta": eta,
+                    "final": result.solution.utility,
+                    "fraction": result.solution.utility / optimum,
+                    "hit90": iterations_to_fraction(
+                        result.recorded_iterations, result.utilities, optimum, 0.90
+                    ),
+                    "hit95": iterations_to_fraction(
+                        result.recorded_iterations, result.utilities, optimum, 0.95
+                    ),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    table = TableBuilder(["eta", "final utility", "of optimal", "to 90%", "to 95%"])
+    for row in rows:
+        table.add_row(
+            row["eta"],
+            row["final"],
+            f"{row['fraction']:.1%}",
+            row["hit90"],
+            row["hit95"],
+        )
+    emit(
+        f"TAB-ETA: step-scale sweep on the Figure-4 instance "
+        f"(optimal = {optimum:.3f}, {MAX_ITERATIONS} iteration budget)",
+        table.render(),
+    )
+
+    by_eta = {row["eta"]: row for row in rows}
+
+    # the stable mid-range converges high within the iteration budget
+    for eta in (0.02, 0.04):
+        assert by_eta[eta]["fraction"] >= 0.90, f"eta={eta} failed to converge"
+
+    # "the danger of no convergence increases": the largest eta oscillates
+    # instead of settling near the optimum
+    assert by_eta[0.32]["fraction"] < 0.90
+
+    # "for eta very small, convergence is guaranteed, but rather slowly":
+    # within the fixed budget the smallest eta lags the paper's 0.04
+    hit95_smallest = by_eta[0.005]["hit95"]
+    hit95_paper = by_eta[0.04]["hit95"]
+    assert hit95_paper is not None
+    assert hit95_smallest is None or hit95_smallest > 2 * hit95_paper
+    assert by_eta[0.005]["fraction"] < by_eta[0.04]["fraction"]
+
+    # "a much larger eta expedites convergence, e.g. hundreds of iterations"
+    fast = [
+        row["hit95"]
+        for row in rows
+        if row["eta"] > 0.04 and row["hit95"] is not None
+    ]
+    assert fast and min(fast) < 1000

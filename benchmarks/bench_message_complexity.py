@@ -1,0 +1,90 @@
+"""TAB-MSG -- per-iteration message complexity (paper Section 6).
+
+Paper prose: *"An iteration in the gradient-based algorithm is generally
+more expensive ... It takes O(L) number of message exchanges to update all
+nodes, where L represents the length of the longest path in the network.
+An iteration in the back-pressure algorithm is much faster ... it takes just
+O(1) number of message exchanges."*
+
+This bench runs the *actual message-passing protocol* on tandem pipelines of
+growing depth and measures the sequential rounds of the marginal-cost wave,
+against back-pressure's constant one-round buffer exchange.  Shape
+assertions: the wave depth grows linearly with the pipeline length while the
+back-pressure round count stays 1.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro import BackpressureAlgorithm, GradientConfig, build_extended_network
+from repro.analysis import TableBuilder
+from repro.core.routing import initial_routing
+from repro.simulation import DistributedGradientRun
+from repro.workloads import tandem_network
+
+DEPTHS = [2, 4, 8, 16, 32]
+
+
+def test_message_rounds_scale_with_depth(benchmark):
+    def run_experiment():
+        rows = []
+        for depth in DEPTHS:
+            ext = build_extended_network(tandem_network(depth))
+            run = DistributedGradientRun(ext, GradientConfig(eta=0.05))
+            run.load_routing(initial_routing(ext))
+            run.forecast_phase()
+            metrics = run.iterate(1)
+            marginal = next(p for p in metrics.phases if p.name == "marginal")
+            forecast = next(p for p in metrics.phases if p.name == "forecast")
+            bp = BackpressureAlgorithm(ext)
+            rows.append(
+                {
+                    "depth": depth,
+                    "longest_path": 2 * depth + 2,  # dummy->src->(bw->node)*->sink
+                    "wave_rounds": marginal.rounds,
+                    "forecast_rounds": forecast.rounds,
+                    "gradient_msgs": metrics.messages,
+                    "bp_rounds": 1,
+                    "bp_msgs": bp.messages_per_iteration,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    table = TableBuilder(
+        [
+            "pipeline depth",
+            "longest path L",
+            "gradient wave rounds",
+            "gradient msgs/iter",
+            "bp rounds",
+            "bp msgs/iter",
+        ]
+    )
+    for row in rows:
+        table.add_row(
+            row["depth"],
+            row["longest_path"],
+            row["wave_rounds"],
+            row["gradient_msgs"],
+            row["bp_rounds"],
+            row["bp_msgs"],
+        )
+    emit(
+        "TAB-MSG: per-iteration message complexity, gradient O(L) vs "
+        "back-pressure O(1)",
+        table.render(),
+    )
+
+    # the marginal-cost wave is O(L): its depth tracks the longest path
+    for row in rows:
+        assert row["longest_path"] / 2 <= row["wave_rounds"] <= row["longest_path"]
+    # linear growth: doubling depth roughly doubles rounds
+    by_depth = {row["depth"]: row["wave_rounds"] for row in rows}
+    for small, big in zip(DEPTHS, DEPTHS[1:]):
+        ratio = by_depth[big] / by_depth[small]
+        assert 1.4 <= ratio <= 2.6
+    # back-pressure is O(1) rounds regardless of depth
+    assert all(row["bp_rounds"] == 1 for row in rows)

@@ -1,0 +1,108 @@
+"""TAB-STAB -- data-plane stability at the optimised operating point.
+
+The paper's definition of success for the continuous problem: an algorithm
+"is stable if it is able to deliver in the long run the injected flow at
+rate a_j at source s_j".  This bench *executes* the converged routing on the
+fluid data plane for the Figure-4 instance under three traffic regimes:
+
+* arrivals exactly at the admitted rates ``a_j``;
+* raw offered load ``lambda_j`` (no admission control);
+* bursty traffic shaped by the token-bucket admission controller.
+
+Shape assertions: the admitted-rate and shaped regimes keep queues bounded
+and deliver ~``a_j``; the uncontrolled regime grows backlog without bound
+while delivering no more -- the quantitative case for the admission-control
+half of the paper's contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro import AdmissionController, GradientAlgorithm, GradientConfig
+from repro.analysis import TableBuilder
+from repro.dataplane import FluidDataPlane
+from repro.workloads import constant_trace, onoff_trace
+
+NUM_SLOTS = 3000
+
+
+def test_dataplane_stability(benchmark, figure4_ext):
+    def run_experiment():
+        solution = GradientAlgorithm(
+            figure4_ext, GradientConfig(eta=0.04, max_iterations=2000)
+        ).run().solution
+        plane = FluidDataPlane(figure4_ext, solution.routing)
+        admitted = solution.admitted_by_name
+        offered = {
+            view.name: view.max_rate for view in figure4_ext.commodities
+        }
+        controller = AdmissionController(solution, burst_seconds=3.0)
+
+        regimes = {}
+        regimes["admitted rates"] = plane.run(
+            {name: constant_trace(rate, NUM_SLOTS) for name, rate in admitted.items()}
+        )
+        regimes["raw offered load"] = plane.run(
+            {name: constant_trace(rate, NUM_SLOTS) for name, rate in offered.items()}
+        )
+        bursty = {
+            name: onoff_trace(
+                peak_rate=3.0 * offered[name],
+                num_slots=NUM_SLOTS,
+                on_probability=min(0.9, offered[name] / (3.0 * offered[name])),
+                seed=11 + i,
+            )
+            for i, name in enumerate(offered)
+        }
+        shaped = {
+            name: controller.shape(name, trace).admitted
+            for name, trace in bursty.items()
+        }
+        regimes["bursty, token-bucket shaped"] = plane.run(shaped)
+        return solution, regimes
+
+    solution, regimes = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    admitted_total = float(np.sum(solution.admitted))
+    table = TableBuilder(
+        [
+            "traffic regime",
+            "delivered rate (sum)",
+            "vs admitted",
+            "final backlog",
+            "backlog growth/slot",
+            "stable",
+        ]
+    )
+    for label, result in regimes.items():
+        delivered = sum(result.delivered_rates.values())
+        table.add_row(
+            label,
+            delivered,
+            f"{delivered / admitted_total:.1%}",
+            result.total_backlog,
+            f"{result.queue_growth_rate():.3f}",
+            "yes" if result.is_stable() else "NO",
+        )
+    emit(
+        "TAB-STAB: executing the converged routing on the fluid data plane "
+        f"(admitted total = {admitted_total:.2f})",
+        table.render(),
+    )
+
+    at_rates = regimes["admitted rates"]
+    raw = regimes["raw offered load"]
+    shaped = regimes["bursty, token-bucket shaped"]
+
+    # the paper's stability criterion holds at the operating point
+    assert at_rates.is_stable()
+    assert sum(at_rates.delivered_rates.values()) >= 0.97 * admitted_total
+    # uncontrolled overload: unbounded backlog, no extra delivery
+    assert not raw.is_stable()
+    assert raw.queue_growth_rate() > 0
+    assert sum(raw.delivered_rates.values()) <= 1.1 * admitted_total
+    # shaping restores stability for bursty inputs
+    assert shaped.is_stable(growth_ratio_tolerance=0.25)
+    assert shaped.queue_growth_rate() < raw.queue_growth_rate()

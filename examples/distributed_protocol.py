@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Run the algorithm as an actual message-passing protocol and measure it.
+
+The synchronous engine in ``repro.core.gradient`` is convenient, but the
+paper describes a *distributed* protocol: an upstream marginal-cost wave, a
+local routing update, and a downstream forecast wave.  This example runs the
+protocol with one agent per extended-graph node over a deterministic event
+engine, verifies the iterates match the synchronous engine bit for bit, and
+measures the Section-6 complexity claim: a gradient iteration costs O(L)
+sequential message rounds (L = longest path) while a back-pressure iteration
+costs O(1).
+
+Run:  python examples/distributed_protocol.py
+"""
+
+import numpy as np
+
+from repro import (
+    BackpressureAlgorithm,
+    GradientAlgorithm,
+    GradientConfig,
+    build_extended_network,
+)
+from repro.analysis import TableBuilder
+from repro.core.routing import initial_routing
+from repro.simulation import DistributedGradientRun
+from repro.workloads import figure1_network, tandem_network
+
+
+def main() -> None:
+    # 1. equivalence: the protocol computes exactly the synchronous iterates
+    ext = build_extended_network(figure1_network())
+    config = GradientConfig(eta=0.05)
+    sync = GradientAlgorithm(ext, config)
+    routing = initial_routing(ext)
+
+    distributed = DistributedGradientRun(ext, config)
+    distributed.load_routing(routing)
+    distributed.forecast_phase()
+
+    current = routing.copy()
+    for iteration in range(50):
+        current = sync.step(current)
+        distributed.iterate(iteration + 1)
+    drift = float(
+        np.max(np.abs(current.phi - distributed.export_routing().phi))
+    )
+    print(f"max |phi_sync - phi_distributed| after 50 iterations: {drift:.1e}")
+    assert drift == 0.0, "protocol and synchronous engine must agree exactly"
+
+    # 2. what one iteration costs on the wire
+    metrics = distributed.iterate(51)
+    print("\none distributed iteration on the Figure-1 network:")
+    for phase in metrics.phases:
+        print(
+            f"  {phase.name:<9} {phase.messages:>4} messages  "
+            f"{phase.bytes:>6} bytes  {phase.rounds:>3} sequential rounds"
+        )
+
+    # 3. the O(L) scaling of the marginal-cost wave (paper, Section 6)
+    print("\nscaling the pipeline depth (tandem networks):")
+    table = TableBuilder(
+        ["depth", "longest path", "wave rounds", "messages/iter", "bp msgs/iter"]
+    )
+    for depth in (2, 4, 8, 16):
+        tandem_ext = build_extended_network(tandem_network(depth))
+        run = DistributedGradientRun(tandem_ext, GradientConfig(eta=0.05))
+        run.load_routing(initial_routing(tandem_ext))
+        run.forecast_phase()
+        m = run.iterate(1)
+        marginal = next(p for p in m.phases if p.name == "marginal")
+        # longest extended path: dummy -> src -> (bw -> node)*depth -> sink
+        longest = 2 * depth + 2
+        bp = BackpressureAlgorithm(tandem_ext)
+        table.add_row(
+            depth, longest, marginal.rounds, m.messages, bp.messages_per_iteration
+        )
+    print(table.render())
+    print(
+        "\nthe marginal-cost wave deepens linearly with the pipeline "
+        "(O(L) rounds per iteration), while back-pressure always exchanges "
+        "one round of buffer levels (O(1)) -- the trade-off the paper "
+        "discusses in Section 6"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Market-data pipeline: flow expansion and mixed utility classes.
+
+Two feeds share a decode tier and an analytics server.  The decrypt stage
+*expands* data 1.6x -- classical flow conservation fails, which is exactly
+the regime the paper's generalised multicommodity model addresses.  The
+``ticker`` feed has a capped utility (its value saturates at 8 units/s);
+``depth`` is bulk throughput.
+
+The example shows where every resource is spent, that the optimiser stops
+investing in ``ticker`` beyond its cap, and how the data rate grows across
+the expanding hop.
+
+Run:  python examples/financial_pipeline.py
+"""
+
+from repro import (
+    GradientAlgorithm,
+    GradientConfig,
+    build_extended_network,
+    solve_optimal,
+)
+from repro.analysis import TableBuilder, solution_table
+from repro.core.routing import feasibility_report
+from repro.workloads import financial_pipeline_network
+
+
+def main() -> None:
+    network = financial_pipeline_network()
+    ext = build_extended_network(network)
+    print(f"model: {network}")
+    ticker = network.commodity("ticker")
+    print(
+        f"  decrypt gain on the first hop: "
+        f"{ticker.gain('ingest_a', 'decode0'):.2f}x (stream expands!)"
+    )
+
+    result = GradientAlgorithm(
+        ext, GradientConfig(eta=0.02, max_iterations=8000)
+    ).run()
+    optimum = solve_optimal(ext)
+    print()
+    print(solution_table([result.solution, optimum], ["gradient", "optimal"]))
+    print(
+        "\nticker admits ~8/s although 20/s is offered: its capped utility "
+        "makes extra ticker data worthless, so capacity goes to depth instead"
+    )
+
+    # resource usage per server
+    report = feasibility_report(ext, result.solution.routing)
+    table = TableBuilder(["node", "usage", "capacity", "utilization"])
+    for node in ext.nodes:
+        if node.capacity == float("inf") or node.name.startswith("bw:"):
+            continue
+        usage = float(report.node_usage[node.index])
+        table.add_row(node.name, usage, node.capacity, usage / node.capacity)
+    print()
+    print(table.render(title="Compute usage at convergence"))
+
+    # expansion visible on the wire
+    flows = result.solution.link_flows()
+    print("\nwire rates around the expanding decrypt stage:")
+    admitted = float(result.solution.admitted[0])
+    print(f"  ticker admitted at source:          {admitted:6.2f} units/s")
+    first_hops = {k: v for k, v in flows.items() if k[0] == "ingest_a"}
+    total = sum(first_hops.values())
+    for (tail, head), rate in sorted(first_hops.items()):
+        print(f"  {tail} -> {head}:             {rate:6.2f} units/s")
+    print(
+        f"  total leaving ingest_a:             {total:6.2f} units/s "
+        f"(= {total / max(admitted, 1e-9):.2f}x the admitted rate)"
+    )
+
+
+if __name__ == "__main__":
+    main()

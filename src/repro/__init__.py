@@ -1,0 +1,161 @@
+"""streamflow -- reproduction of Xia, Towsley & Zhang (ICDCS 2007).
+
+*Distributed Resource Management and Admission Control of Stream Processing
+Systems with Max Utility.*
+
+Public API tour
+---------------
+Model building::
+
+    from repro import PhysicalNetwork, Commodity, StreamNetwork, Task
+
+Solving (one-liner)::
+
+    from repro import solve
+    solution = solve(stream_network)            # distributed gradient
+    optimum = solve(stream_network, method="optimal")   # centralized LP/FW
+
+Algorithm objects (full control + convergence history)::
+
+    from repro import (build_extended_network, GradientAlgorithm,
+                       GradientConfig, BackpressureAlgorithm)
+
+See README.md for a quickstart and DESIGN.md for the paper-to-module map.
+"""
+
+from typing import Optional
+
+from repro.core import (
+    AdmissionController,
+    AlphaFairUtility,
+    BackpressureAlgorithm,
+    BackpressureConfig,
+    BackpressureResult,
+    CappedLinearUtility,
+    Commodity,
+    CostModel,
+    ExtendedNetwork,
+    GradientAlgorithm,
+    GradientConfig,
+    GradientResult,
+    InverseBarrier,
+    LinearUtility,
+    Link,
+    LogBarrier,
+    LogUtility,
+    Node,
+    NodeKind,
+    PhysicalNetwork,
+    RoutingState,
+    Solution,
+    SqrtUtility,
+    StreamNetwork,
+    Task,
+    build_extended_network,
+    solve_concave,
+    solve_lp,
+    solve_optimal,
+)
+from repro.exceptions import (
+    ConvergenceError,
+    InfeasibleError,
+    ModelError,
+    RoutingError,
+    SimulationError,
+    SolverError,
+    StreamFlowError,
+    TransformError,
+    ValidationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "solve",
+    "AdmissionController",
+    "AlphaFairUtility",
+    "BackpressureAlgorithm",
+    "BackpressureConfig",
+    "BackpressureResult",
+    "CappedLinearUtility",
+    "Commodity",
+    "CostModel",
+    "ExtendedNetwork",
+    "GradientAlgorithm",
+    "GradientConfig",
+    "GradientResult",
+    "InverseBarrier",
+    "LinearUtility",
+    "Link",
+    "LogBarrier",
+    "LogUtility",
+    "Node",
+    "NodeKind",
+    "PhysicalNetwork",
+    "RoutingState",
+    "Solution",
+    "SqrtUtility",
+    "StreamNetwork",
+    "Task",
+    "build_extended_network",
+    "solve_concave",
+    "solve_lp",
+    "solve_optimal",
+    "StreamFlowError",
+    "ModelError",
+    "ValidationError",
+    "TransformError",
+    "RoutingError",
+    "InfeasibleError",
+    "ConvergenceError",
+    "SolverError",
+    "SimulationError",
+    "__version__",
+]
+
+
+def solve(
+    stream_network: StreamNetwork,
+    method: str = "gradient",
+    config: Optional[GradientConfig] = None,
+) -> Solution:
+    """Solve the joint admission/routing/allocation problem for a model.
+
+    Parameters
+    ----------
+    stream_network:
+        The validated problem instance.
+    method:
+        ``"gradient"`` -- the paper's distributed algorithm (default);
+        ``"optimal"`` -- the centralized LP / Frank-Wolfe optimum;
+        ``"backpressure"`` -- the baseline of [6] (returns the solution at
+        its final time-averaged rates; no routing state).
+    config:
+        Optional :class:`GradientConfig` for the gradient method.
+
+    Returns
+    -------
+    Solution
+        Admitted rates, achieved utility, and (when available) the routing.
+    """
+    ext = build_extended_network(stream_network)
+    if method == "gradient":
+        result = GradientAlgorithm(ext, config).run()
+        return result.solution
+    if method == "optimal":
+        return solve_optimal(ext)
+    if method == "backpressure":
+        bp = BackpressureAlgorithm(ext).run()
+        return Solution(
+            ext=ext,
+            admitted=bp.average_rates,
+            utility=bp.utility,
+            cost=float("nan"),
+            method="backpressure",
+            routing=None,
+            iterations=bp.iterations,
+        )
+    raise ValueError(
+        f"unknown method {method!r}; expected 'gradient', 'optimal', "
+        f"or 'backpressure'"
+    )

@@ -1,0 +1,27 @@
+"""Analysis toolkit: convergence diagnostics, paper-style tables, ASCII plots."""
+
+from repro.analysis.ascii_plot import ascii_plot
+from repro.analysis.convergence import (
+    ConvergenceSummary,
+    is_effectively_monotone,
+    iterations_to_fraction,
+    summarize_convergence,
+)
+from repro.analysis.report import (
+    AlgorithmTrajectory,
+    TableBuilder,
+    figure4_table,
+    solution_table,
+)
+
+__all__ = [
+    "ascii_plot",
+    "ConvergenceSummary",
+    "is_effectively_monotone",
+    "iterations_to_fraction",
+    "summarize_convergence",
+    "AlgorithmTrajectory",
+    "TableBuilder",
+    "figure4_table",
+    "solution_table",
+]

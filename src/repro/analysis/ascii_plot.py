@@ -1,0 +1,88 @@
+"""Dependency-free ASCII line plots for examples and benchmark output.
+
+Good enough to eyeball a convergence curve in a terminal or a CI log --
+the examples use it to render the Figure-4 comparison without matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "*+o#@%&"
+
+
+def ascii_plot(
+    series: Sequence[Tuple[str, Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    log_x: bool = False,
+    title: Optional[str] = None,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more ``(label, xs, ys)`` series as an ASCII chart.
+
+    ``log_x=True`` reproduces Figure 4's log-scale iteration axis.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 16 or height < 4:
+        raise ValueError("plot area too small")
+
+    positive = [float(x) for __, xs, __ in series for x in xs if x > 0]
+    floor = min(positive) if positive else 1.0
+
+    def tx(x: float) -> float:
+        if not log_x:
+            return x
+        # non-positive x (e.g. iteration 0) is clamped to the smallest
+        # positive sample so the axis stays meaningful
+        return math.log10(max(x, floor))
+
+    all_x = [tx(float(x)) for __, xs, __ in series for x in xs]
+    all_y = [float(y) for __, __, ys in series for y in ys]
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (__, xs, ys) in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((tx(float(x)) - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((float(y) - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for r, row_cells in enumerate(grid):
+        prefix = (
+            f"{top_label:>{pad}} |"
+            if r == 0
+            else f"{bottom_label:>{pad}} |" if r == height - 1 else " " * pad + " |"
+        )
+        lines.append(prefix + "".join(row_cells))
+    lines.append(" " * pad + " +" + "-" * width)
+    left = f"{10 ** x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    right = f"{10 ** x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    axis = f"{left}"
+    axis += " " * max(1, width - len(left) - len(right)) + right
+    lines.append(" " * pad + "  " + axis)
+    suffix = f"  [{x_label}{', log scale' if log_x else ''}]  vs  [{y_label}]"
+    legend = "  legend: " + "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}" for i, (label, __, __) in enumerate(series)
+    )
+    lines.append(legend + suffix)
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Convergence diagnostics for optimisation trajectories.
+
+These are the measurements Figure 4 and the surrounding prose report:
+iterations to reach a fraction of the optimum, monotonicity of the
+trajectory, and the final optimality gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "iterations_to_fraction",
+    "is_effectively_monotone",
+    "ConvergenceSummary",
+    "summarize_convergence",
+]
+
+
+def iterations_to_fraction(
+    iterations: Sequence[int],
+    utilities: Sequence[float],
+    reference: float,
+    fraction: float,
+) -> Optional[int]:
+    """First recorded iteration whose utility reaches ``fraction * reference``.
+
+    Returns ``None`` if the trajectory never reaches the target.  This is the
+    "iterations required to achieve a utility within x% of optimal" metric of
+    Section 6.
+    """
+    if reference <= 0:
+        raise ValueError(f"reference must be > 0, got {reference}")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    iterations = np.asarray(iterations)
+    utilities = np.asarray(utilities, dtype=float)
+    if iterations.shape != utilities.shape:
+        raise ValueError("iterations and utilities must have equal length")
+    mask = utilities >= fraction * reference
+    if not mask.any():
+        return None
+    return int(iterations[int(np.argmax(mask))])
+
+
+def is_effectively_monotone(
+    values: Sequence[float], direction: str = "increasing", slack: float = 1e-6
+) -> bool:
+    """Is the sequence monotone up to a relative ``slack``?
+
+    The paper observes "the total throughput improves monotonically until it
+    eventually reaches the optimum"; numerical trajectories wobble at
+    round-off scale, hence the slack.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        return True
+    scale = max(1.0, float(np.max(np.abs(values))))
+    steps = np.diff(values)
+    if direction == "increasing":
+        return bool(np.all(steps >= -slack * scale))
+    if direction == "decreasing":
+        return bool(np.all(steps <= slack * scale))
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+@dataclass
+class ConvergenceSummary:
+    final_value: float
+    reference: float
+    final_fraction: float  # final_value / reference
+    iterations_to_90: Optional[int]
+    iterations_to_95: Optional[int]
+    iterations_to_99: Optional[int]
+    monotone: bool
+
+    def row(self, label: str) -> str:
+        def fmt(x: Optional[int]) -> str:
+            return str(x) if x is not None else "-"
+
+        return (
+            f"{label:<24} {self.final_value:>10.3f} {self.final_fraction:>8.1%} "
+            f"{fmt(self.iterations_to_90):>9} {fmt(self.iterations_to_95):>9} "
+            f"{fmt(self.iterations_to_99):>9} {'yes' if self.monotone else 'no':>9}"
+        )
+
+    @staticmethod
+    def header() -> str:
+        return (
+            f"{'algorithm':<24} {'utility':>10} {'of opt':>8} "
+            f"{'to 90%':>9} {'to 95%':>9} {'to 99%':>9} {'monotone':>9}"
+        )
+
+
+def summarize_convergence(
+    iterations: Sequence[int],
+    utilities: Sequence[float],
+    reference: float,
+    monotone_slack: float = 1e-3,
+) -> ConvergenceSummary:
+    """Bundle the Figure-4 metrics for one algorithm trajectory."""
+    utilities = np.asarray(utilities, dtype=float)
+    return ConvergenceSummary(
+        final_value=float(utilities[-1]),
+        reference=reference,
+        final_fraction=float(utilities[-1]) / reference,
+        iterations_to_90=iterations_to_fraction(iterations, utilities, reference, 0.90),
+        iterations_to_95=iterations_to_fraction(iterations, utilities, reference, 0.95),
+        iterations_to_99=iterations_to_fraction(iterations, utilities, reference, 0.99),
+        monotone=is_effectively_monotone(
+            utilities, direction="increasing", slack=monotone_slack
+        ),
+    )

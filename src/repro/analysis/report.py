@@ -1,0 +1,94 @@
+"""Paper-style text reports: experiment tables shared by benches and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.convergence import ConvergenceSummary, summarize_convergence
+from repro.core.solution import Solution
+
+__all__ = ["TableBuilder", "figure4_table", "solution_table"]
+
+
+class TableBuilder:
+    """Minimal fixed-width text table (no external deps)."""
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self, title: Optional[str] = None) -> str:
+        widths = [
+            max(len(col), *(len(row[i]) for row in self.rows)) if self.rows else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        lines = []
+        if title:
+            lines.append(title)
+        header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(self.columns))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+@dataclass
+class AlgorithmTrajectory:
+    """Inputs to the Figure-4 table for one algorithm."""
+
+    label: str
+    iterations: Sequence[int]
+    utilities: Sequence[float]
+
+
+def figure4_table(
+    optimal_utility: float,
+    trajectories: Sequence[AlgorithmTrajectory],
+) -> str:
+    """The Figure-4 comparison as a table: final utility and iters-to-x%."""
+    lines = [ConvergenceSummary.header()]
+    lines.append("-" * len(lines[0]))
+    for trajectory in trajectories:
+        summary = summarize_convergence(
+            trajectory.iterations, trajectory.utilities, optimal_utility
+        )
+        lines.append(summary.row(trajectory.label))
+    lines.append(f"{'optimal (LP)':<24} {optimal_utility:>10.3f} {'100.0%':>8}")
+    return "\n".join(lines)
+
+
+def solution_table(solutions: Sequence[Solution], labels: Sequence[str]) -> str:
+    """Side-by-side admitted rates and utilities of several solutions."""
+    if len(solutions) != len(labels):
+        raise ValueError("need one label per solution")
+    if not solutions:
+        raise ValueError("no solutions to tabulate")
+    names = [view.name for view in solutions[0].ext.commodities]
+    table = TableBuilder(["commodity", "offered"] + list(labels))
+    for view in solutions[0].ext.commodities:
+        cells: List[object] = [view.name, view.max_rate]
+        for solution in solutions:
+            cells.append(float(solution.admitted[view.index]))
+        table.add_row(*cells)
+    total_cells: List[object] = ["TOTAL UTILITY", ""]
+    for solution in solutions:
+        total_cells.append(solution.utility)
+    table.add_row(*total_cells)
+    return table.render(title=f"Admitted rates across methods ({len(names)} commodities)")

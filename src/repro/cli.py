@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``generate``   create a random paper-style model and write it as JSON
+``info``       summarise a model file
+``solve``      solve a model (gradient / optimal / backpressure)
+``figure4``    run a quick Figure-4 reproduction
+
+Examples
+--------
+::
+
+    python -m repro generate --nodes 40 --commodities 3 --seed 7 -o model.json
+    python -m repro info model.json
+    python -m repro solve model.json --method gradient --eta 0.04 -o solution.json
+    python -m repro figure4 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    BackpressureAlgorithm,
+    BackpressureConfig,
+    GradientAlgorithm,
+    GradientConfig,
+    Solution,
+    build_extended_network,
+    solve_optimal,
+)
+from repro.analysis import AlgorithmTrajectory, figure4_table
+from repro.core.marginals import CostModel
+from repro.io import load_network, save_network, save_solution
+from repro.workloads import paper_figure4_network, random_stream_network
+from repro.workloads.random_network import RandomNetworkSpec
+
+__all__ = ["main"]
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = RandomNetworkSpec(
+        num_nodes=args.nodes, num_commodities=args.commodities
+    )
+    network = random_stream_network(spec, seed=args.seed)
+    save_network(network, args.output)
+    print(f"wrote {network} to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    network = load_network(args.model)
+    ext = build_extended_network(network)
+    print(network)
+    print(ext.describe())
+    for commodity in network.commodities:
+        print(f"  {commodity}  utility={commodity.utility!r}")
+    return 0
+
+
+def _solve(args: argparse.Namespace) -> Solution:
+    network = load_network(args.model)
+    ext = build_extended_network(network)
+    if args.method == "gradient":
+        config = GradientConfig(
+            eta=args.eta,
+            max_iterations=args.max_iterations,
+            cost_model=CostModel(eps=args.eps),
+            adaptive_eta=args.adaptive,
+        )
+        return GradientAlgorithm(ext, config).run().solution
+    if args.method == "optimal":
+        return solve_optimal(ext)
+    if args.method == "backpressure":
+        result = BackpressureAlgorithm(
+            ext, BackpressureConfig(max_iterations=args.max_iterations)
+        ).run()
+        return Solution(
+            ext=ext,
+            admitted=result.average_rates,
+            utility=result.utility,
+            cost=float("nan"),
+            method="backpressure",
+            iterations=result.iterations,
+        )
+    raise ValueError(f"unknown method {args.method!r}")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    solution = _solve(args)
+    print(solution.summary())
+    if args.output:
+        save_solution(solution, args.output)
+        print(f"wrote solution to {args.output}")
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    from repro.core.optimal import solve_lp
+
+    network = paper_figure4_network(seed=args.seed)
+    ext = build_extended_network(network)
+    optimum = solve_lp(ext)
+    gradient = GradientAlgorithm(
+        ext,
+        GradientConfig(eta=0.04, max_iterations=args.max_iterations, record_every=10),
+    ).run()
+    backpressure = BackpressureAlgorithm(
+        ext,
+        BackpressureConfig(
+            max_iterations=args.bp_iterations, record_every=200, buffer_cap=1000.0
+        ),
+    ).run()
+    print(
+        figure4_table(
+            optimum.utility,
+            [
+                AlgorithmTrajectory(
+                    "gradient (eta=0.04)",
+                    gradient.recorded_iterations,
+                    gradient.utilities,
+                ),
+                AlgorithmTrajectory(
+                    "back-pressure",
+                    backpressure.recorded_iterations,
+                    backpressure.utilities,
+                ),
+            ],
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ICDCS'07 stream-processing reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a random paper-style model")
+    gen.add_argument("--nodes", type=int, default=40)
+    gen.add_argument("--commodities", type=int, default=3)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="summarise a model file")
+    info.add_argument("model")
+    info.set_defaults(func=_cmd_info)
+
+    slv = sub.add_parser("solve", help="solve a model file")
+    slv.add_argument("model")
+    slv.add_argument(
+        "--method",
+        choices=["gradient", "optimal", "backpressure"],
+        default="gradient",
+    )
+    slv.add_argument("--eta", type=float, default=0.04)
+    slv.add_argument("--eps", type=float, default=0.2)
+    slv.add_argument("--adaptive", action="store_true", help="adaptive step scale")
+    slv.add_argument("--max-iterations", type=int, default=20000)
+    slv.add_argument("-o", "--output", default=None)
+    slv.set_defaults(func=_cmd_solve)
+
+    fig = sub.add_parser("figure4", help="quick Figure-4 reproduction")
+    fig.add_argument("--seed", type=int, default=7)
+    fig.add_argument("--max-iterations", type=int, default=3000)
+    fig.add_argument("--bp-iterations", type=int, default=60000)
+    fig.set_defaults(func=_cmd_figure4)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

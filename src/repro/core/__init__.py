@@ -1,0 +1,74 @@
+"""Core model and algorithms of the ICDCS'07 reproduction."""
+
+from repro.core.admission import AdmissionController, TokenBucket
+from repro.core.backpressure import (
+    BackpressureAlgorithm,
+    BackpressureConfig,
+    BackpressureResult,
+)
+from repro.core.commodity import Commodity, StreamNetwork, Task, validate_property1
+from repro.core.gradient import GradientAlgorithm, GradientConfig, GradientResult
+from repro.core.marginals import CostModel, evaluate_cost, optimality_residual
+from repro.core.network import Link, Node, NodeKind, PhysicalNetwork
+from repro.core.optimal import solve_concave, solve_lp, solve_optimal
+from repro.core.penalty import InverseBarrier, LogBarrier, QuadraticOverload
+from repro.core.routing import (
+    RoutingState,
+    admitted_rates,
+    feasibility_report,
+    initial_routing,
+    resource_usage,
+    solve_traffic,
+)
+from repro.core.solution import Solution, build_solution
+from repro.core.transform import ExtendedNetwork, build_extended_network
+from repro.core.utility import (
+    AlphaFairUtility,
+    CappedLinearUtility,
+    LinearUtility,
+    LogUtility,
+    SqrtUtility,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "BackpressureAlgorithm",
+    "BackpressureConfig",
+    "BackpressureResult",
+    "Commodity",
+    "StreamNetwork",
+    "Task",
+    "validate_property1",
+    "GradientAlgorithm",
+    "GradientConfig",
+    "GradientResult",
+    "CostModel",
+    "evaluate_cost",
+    "optimality_residual",
+    "Link",
+    "Node",
+    "NodeKind",
+    "PhysicalNetwork",
+    "solve_concave",
+    "solve_lp",
+    "solve_optimal",
+    "InverseBarrier",
+    "LogBarrier",
+    "QuadraticOverload",
+    "RoutingState",
+    "admitted_rates",
+    "feasibility_report",
+    "initial_routing",
+    "resource_usage",
+    "solve_traffic",
+    "Solution",
+    "build_solution",
+    "ExtendedNetwork",
+    "build_extended_network",
+    "AlphaFairUtility",
+    "CappedLinearUtility",
+    "LinearUtility",
+    "LogUtility",
+    "SqrtUtility",
+]

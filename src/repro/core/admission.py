@@ -1,0 +1,150 @@
+"""Admission-control front end.
+
+The optimisation determines the *rates* ``a_j`` each source may inject; this
+module turns those rates into an enforcement mechanism for actual (bursty)
+arrival processes, closing the loop the paper motivates in its introduction
+("admission control the bursty and high volume input streams").
+
+:class:`AdmissionController` holds the per-commodity admitted rates from any
+:class:`~repro.core.solution.Solution` and shapes discrete arrival traces
+with a token bucket per commodity: tokens accrue at ``a_j`` per second up to
+a configurable burst depth, and data is admitted only against tokens.  Over
+any window the admitted volume is bounded by ``a_j * T + burst``, so the
+downstream network never sees sustained load above what the optimiser
+provisioned for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.solution import Solution
+from repro.exceptions import ModelError
+
+__all__ = ["TokenBucket", "ShapedTrace", "AdmissionController"]
+
+
+@dataclass
+class TokenBucket:
+    """A token bucket enforcing a sustained ``rate`` with ``burst`` slack."""
+
+    rate: float
+    burst: float
+    tokens: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ModelError(f"token bucket rate must be >= 0, got {self.rate}")
+        if self.burst <= 0:
+            raise ModelError(f"token bucket burst must be > 0, got {self.burst}")
+        self.tokens = self.burst
+
+    def offer(self, amount: float, elapsed: float) -> float:
+        """Offer ``amount`` of data after ``elapsed`` seconds; return admitted."""
+        if amount < 0 or elapsed < 0:
+            raise ModelError("offer arguments must be non-negative")
+        self.tokens = min(self.burst, self.tokens + self.rate * elapsed)
+        admitted = min(amount, self.tokens)
+        self.tokens -= admitted
+        return admitted
+
+    def reset(self) -> None:
+        self.tokens = self.burst
+
+
+@dataclass
+class ShapedTrace:
+    """Result of shaping one commodity's arrival trace."""
+
+    offered: np.ndarray
+    admitted: np.ndarray
+    shed: np.ndarray
+
+    @property
+    def admitted_fraction(self) -> float:
+        total = float(self.offered.sum())
+        return float(self.admitted.sum()) / total if total > 0 else 1.0
+
+
+class AdmissionController:
+    """Enforce a solution's admitted rates on per-commodity arrival traces.
+
+    Parameters
+    ----------
+    solution:
+        Any solver/algorithm output; its ``admitted`` vector provides the
+        sustained rates.
+    burst_seconds:
+        Token-bucket depth, expressed in seconds of the sustained rate
+        (``burst = burst_seconds * a_j``); commodities with ``a_j = 0`` get a
+        minimal epsilon bucket so the controller still functions.
+    """
+
+    def __init__(self, solution: Solution, burst_seconds: float = 1.0):
+        if burst_seconds <= 0:
+            raise ModelError("burst_seconds must be > 0")
+        self.solution = solution
+        self.rates: Dict[str, float] = solution.admitted_by_name
+        self._buckets: Dict[str, TokenBucket] = {
+            name: TokenBucket(rate=rate, burst=max(burst_seconds * rate, 1e-9))
+            for name, rate in self.rates.items()
+        }
+
+    def rate(self, commodity: str) -> float:
+        try:
+            return self.rates[commodity]
+        except KeyError:
+            raise ModelError(f"unknown commodity {commodity!r}") from None
+
+    def shape(
+        self,
+        commodity: str,
+        offered: Sequence[float],
+        slot_length: float = 1.0,
+        reset: bool = True,
+    ) -> ShapedTrace:
+        """Shape a slotted arrival trace for one commodity.
+
+        ``offered[t]`` is the data volume arriving in slot ``t`` (each of
+        duration ``slot_length`` seconds).  Returns per-slot admitted and
+        shed volumes.
+        """
+        if commodity not in self._buckets:
+            raise ModelError(f"unknown commodity {commodity!r}")
+        if slot_length <= 0:
+            raise ModelError("slot_length must be > 0")
+        bucket = self._buckets[commodity]
+        if reset:
+            bucket.reset()
+        offered_arr = np.asarray(offered, dtype=float)
+        if np.any(offered_arr < 0):
+            raise ModelError("offered volumes must be non-negative")
+        admitted = np.empty_like(offered_arr)
+        for t, volume in enumerate(offered_arr):
+            admitted[t] = bucket.offer(float(volume), slot_length)
+        shed = offered_arr - admitted
+        return ShapedTrace(offered=offered_arr, admitted=admitted, shed=shed)
+
+    def shape_all(
+        self,
+        traces: Dict[str, Sequence[float]],
+        slot_length: float = 1.0,
+    ) -> Dict[str, ShapedTrace]:
+        """Shape traces for several commodities at once."""
+        return {
+            name: self.shape(name, trace, slot_length=slot_length)
+            for name, trace in traces.items()
+        }
+
+    def report(self) -> str:
+        lines = ["AdmissionController rates:"]
+        for view in self.solution.ext.commodities:
+            rate = self.rates[view.name]
+            lines.append(
+                f"  {view.name}: admit {rate:.4g}/s of offered "
+                f"{view.max_rate:.4g}/s ({100 * rate / view.max_rate:.1f}%)"
+            )
+        return "\n".join(lines)

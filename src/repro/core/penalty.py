@@ -1,0 +1,254 @@
+"""Convex node-resource penalty functions ``D_i(z)``.
+
+Section 3 of the paper converts the per-node capacity constraints into a
+smooth convex cost: for resource usage ``z`` at a node with budget ``C``, a
+penalty ``D(z)`` is charged, with ``D`` convex, increasing, and
+``D(z) -> inf`` as ``z -> C``.  The canonical choice given in the paper is
+
+    ``D(z) = 1 / (C - z)``
+
+and the overall objective becomes ``A = Y + eps * D`` for a tunable ``eps``.
+
+Dummy nodes have ``C = inf`` and therefore zero penalty.
+
+Safeguarded tails
+-----------------
+The pure barrier has an infinite derivative at ``z = C``; transiently
+infeasible iterates (possible for aggressive step scales ``eta``) would
+produce NaNs.  Every barrier here is therefore extended beyond a switch point
+``z_s = switch_fraction * C`` by the C^1 quadratic that matches the barrier's
+value and first derivative at ``z_s`` and keeps curving upward.  The extension
+only matters for wildly infeasible transients: the converged solution of the
+penalised problem sits strictly inside capacity (the barrier pushes it there),
+where the extension is inactive, so it does not change any fixed point.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "PenaltyFunction",
+    "InverseBarrier",
+    "LogBarrier",
+    "QuadraticOverload",
+    "check_convex_increasing",
+]
+
+
+class PenaltyFunction(ABC):
+    """Convex increasing penalty of node resource usage ``z`` given budget ``C``.
+
+    Implementations must be vectorised over ``usage`` and ``capacity`` and
+    must return exactly 0 penalty and 0 derivative wherever
+    ``capacity == inf`` (dummy nodes).
+    """
+
+    @abstractmethod
+    def value(self, usage: ArrayLike, capacity: ArrayLike) -> ArrayLike:
+        """Return ``D(usage)`` for the given node budget(s)."""
+
+    @abstractmethod
+    def derivative(self, usage: ArrayLike, capacity: ArrayLike) -> ArrayLike:
+        """Return ``D'(usage)`` for the given node budget(s)."""
+
+
+class _SafeguardedBarrier(PenaltyFunction):
+    """Shared machinery: true barrier below the switch, quadratic tail above.
+
+    ``tail_stiffness`` scales the tail's curvature: the C^1 extension with
+    the barrier's own second derivative underestimates how violently the true
+    barrier grows, so a stiffness > 1 keeps transiently-infeasible iterates
+    from drifting far past capacity while changing nothing below the switch.
+    """
+
+    def __init__(self, switch_fraction: float = 0.99, tail_stiffness: float = 8.0):
+        if not 0.0 < switch_fraction < 1.0:
+            raise ValidationError(
+                f"switch_fraction must lie in (0, 1), got {switch_fraction}"
+            )
+        if not tail_stiffness >= 1.0:
+            raise ValidationError(
+                f"tail_stiffness must be >= 1, got {tail_stiffness}"
+            )
+        self.switch_fraction = float(switch_fraction)
+        self.tail_stiffness = float(tail_stiffness)
+
+    # -- the underlying barrier on usage < capacity ---------------------------
+    @abstractmethod
+    def _barrier_value(self, usage: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def _barrier_derivative(
+        self, usage: np.ndarray, capacity: np.ndarray
+    ) -> np.ndarray:
+        ...
+
+    @abstractmethod
+    def _barrier_second(self, usage: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+        ...
+
+    def value(self, usage: ArrayLike, capacity: ArrayLike) -> ArrayLike:
+        usage, capacity = np.broadcast_arrays(
+            np.asarray(usage, dtype=float), np.asarray(capacity, dtype=float)
+        )
+        out = np.zeros_like(usage)
+        finite = np.isfinite(capacity)
+        if not np.any(finite):
+            return out if out.ndim else float(out)
+        z = usage[finite]
+        c = capacity[finite]
+        zs = self.switch_fraction * c
+        inner = z <= zs
+        res = np.empty_like(z)
+        res[inner] = self._barrier_value(z[inner], c[inner])
+        if np.any(~inner):
+            zo, co, zso = z[~inner], c[~inner], zs[~inner]
+            v0 = self._barrier_value(zso, co)
+            d0 = self._barrier_derivative(zso, co)
+            h0 = self.tail_stiffness * self._barrier_second(zso, co)
+            dz = zo - zso
+            res[~inner] = v0 + d0 * dz + 0.5 * h0 * dz**2
+        out[finite] = res
+        return out if out.ndim else float(out)
+
+    def derivative(self, usage: ArrayLike, capacity: ArrayLike) -> ArrayLike:
+        usage, capacity = np.broadcast_arrays(
+            np.asarray(usage, dtype=float), np.asarray(capacity, dtype=float)
+        )
+        out = np.zeros_like(usage)
+        finite = np.isfinite(capacity)
+        if not np.any(finite):
+            return out if out.ndim else float(out)
+        z = usage[finite]
+        c = capacity[finite]
+        zs = self.switch_fraction * c
+        inner = z <= zs
+        res = np.empty_like(z)
+        res[inner] = self._barrier_derivative(z[inner], c[inner])
+        if np.any(~inner):
+            zo, co, zso = z[~inner], c[~inner], zs[~inner]
+            d0 = self._barrier_derivative(zso, co)
+            h0 = self.tail_stiffness * self._barrier_second(zso, co)
+            res[~inner] = d0 + h0 * (zo - zso)
+        out[finite] = res
+        return out if out.ndim else float(out)
+
+
+class InverseBarrier(_SafeguardedBarrier):
+    """The paper's penalty ``D(z) = 1/(C - z)`` (minus the constant ``1/C``).
+
+    We subtract ``D(0) = 1/C`` so that an idle node incurs zero penalty; this
+    shifts the objective by a constant and changes no gradients or optima, but
+    makes reported costs comparable across networks.
+    """
+
+    def _barrier_value(self, usage, capacity):
+        return 1.0 / (capacity - usage) - 1.0 / capacity
+
+    def _barrier_derivative(self, usage, capacity):
+        return 1.0 / (capacity - usage) ** 2
+
+    def _barrier_second(self, usage, capacity):
+        return 2.0 / (capacity - usage) ** 3
+
+    def __repr__(self) -> str:
+        return (
+            f"InverseBarrier(switch_fraction={self.switch_fraction}, "
+            f"tail_stiffness={self.tail_stiffness})"
+        )
+
+
+class LogBarrier(_SafeguardedBarrier):
+    """``D(z) = -log(1 - z/C)``: a milder barrier, also convex & increasing."""
+
+    def _barrier_value(self, usage, capacity):
+        return -np.log1p(-usage / capacity)
+
+    def _barrier_derivative(self, usage, capacity):
+        return 1.0 / (capacity - usage)
+
+    def _barrier_second(self, usage, capacity):
+        return 1.0 / (capacity - usage) ** 2
+
+    def __repr__(self) -> str:
+        return (
+            f"LogBarrier(switch_fraction={self.switch_fraction}, "
+            f"tail_stiffness={self.tail_stiffness})"
+        )
+
+
+class QuadraticOverload(PenaltyFunction):
+    """``D(z) = (max(0, z - rho*C))^2 / C``: a soft (non-barrier) penalty.
+
+    Unlike the barriers above this does *not* diverge at capacity, so it does
+    not by itself guarantee feasibility -- it is provided for ablation studies
+    of the penalty choice (see DESIGN.md, TAB-EPS).
+    """
+
+    def __init__(self, threshold_fraction: float = 0.9):
+        if not 0.0 < threshold_fraction <= 1.0:
+            raise ValidationError(
+                f"threshold_fraction must lie in (0, 1], got {threshold_fraction}"
+            )
+        self.threshold_fraction = float(threshold_fraction)
+
+    def value(self, usage: ArrayLike, capacity: ArrayLike) -> ArrayLike:
+        usage, capacity = np.broadcast_arrays(
+            np.asarray(usage, dtype=float), np.asarray(capacity, dtype=float)
+        )
+        out = np.zeros_like(usage)
+        finite = np.isfinite(capacity)
+        over = np.maximum(
+            0.0, usage[finite] - self.threshold_fraction * capacity[finite]
+        )
+        out[finite] = over**2 / capacity[finite]
+        return out if out.ndim else float(out)
+
+    def derivative(self, usage: ArrayLike, capacity: ArrayLike) -> ArrayLike:
+        usage, capacity = np.broadcast_arrays(
+            np.asarray(usage, dtype=float), np.asarray(capacity, dtype=float)
+        )
+        out = np.zeros_like(usage)
+        finite = np.isfinite(capacity)
+        over = np.maximum(
+            0.0, usage[finite] - self.threshold_fraction * capacity[finite]
+        )
+        out[finite] = 2.0 * over / capacity[finite]
+        return out if out.ndim else float(out)
+
+    def __repr__(self) -> str:
+        return f"QuadraticOverload(threshold_fraction={self.threshold_fraction})"
+
+
+def check_convex_increasing(
+    penalty: PenaltyFunction,
+    capacity: float = 10.0,
+    lo: float = 0.0,
+    hi_fraction: float = 1.2,
+    num: int = 513,
+    tol: float = 1e-9,
+) -> None:
+    """Numerically verify convexity/monotonicity of ``penalty`` on a grid.
+
+    The grid deliberately extends past capacity (``hi_fraction > 1``) so the
+    safeguarded tail is exercised too.  Raises :class:`ValidationError` on
+    violation.
+    """
+    grid = np.linspace(lo, hi_fraction * capacity, num)
+    values = np.asarray(penalty.value(grid, capacity), dtype=float)
+    derivs = np.asarray(penalty.derivative(grid, capacity), dtype=float)
+    if not np.all(np.isfinite(values)) or not np.all(np.isfinite(derivs)):
+        raise ValidationError("penalty produced non-finite values on test grid")
+    if np.any(derivs < -tol):
+        raise ValidationError("penalty is not increasing (negative derivative)")
+    if np.any(np.diff(derivs) < -tol):
+        raise ValidationError("penalty is not convex (derivative decreases)")

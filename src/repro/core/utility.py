@@ -1,0 +1,262 @@
+"""Concave utility functions ``U_j(a_j)`` for stream commodities.
+
+The paper assumes each commodity ``j`` has an increasing concave utility
+``U_j`` of its admitted rate ``a_j`` (Section 2, "Utility Function").  The
+dummy-node transformation (Section 3, eq. (1)) only ever evaluates a utility
+and its first derivative, so the interface below exposes exactly
+
+* ``value(a)``       -- ``U(a)``
+* ``derivative(a)``  -- ``U'(a)``
+
+plus the convenience ``loss(lam, x) = U(lam) - U(lam - x)``, which is the cost
+``Y`` of carrying overflow ``x`` on the dummy difference link.
+
+All utilities are vectorised: they accept scalars or numpy arrays.
+
+The linear utility with weight 1 recovers the paper's Figure-4 objective
+("the system utility is taken to be the total throughput").
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+ArrayLike = Union[float, np.ndarray]
+
+__all__ = [
+    "UtilityFunction",
+    "LinearUtility",
+    "LogUtility",
+    "AlphaFairUtility",
+    "SqrtUtility",
+    "CappedLinearUtility",
+    "check_concave_increasing",
+]
+
+
+class UtilityFunction(ABC):
+    """An increasing concave utility of an admitted data rate.
+
+    Subclasses must be increasing and concave on ``a >= 0``; this is the
+    standing assumption of the paper (it makes the dummy-link cost ``Y``
+    convex and increasing, which the convergence results require).
+    """
+
+    @abstractmethod
+    def value(self, a: ArrayLike) -> ArrayLike:
+        """Return ``U(a)`` for admitted rate ``a >= 0``."""
+
+    @abstractmethod
+    def derivative(self, a: ArrayLike) -> ArrayLike:
+        """Return ``U'(a)`` for admitted rate ``a >= 0``."""
+
+    def loss(self, lam: ArrayLike, x: ArrayLike) -> ArrayLike:
+        """Utility loss ``Y(x) = U(lam) - U(lam - x)`` of shedding rate ``x``.
+
+        This is eq. (1) of the paper: the cost of routing overflow ``x`` over
+        the dummy difference link when the offered load is ``lam``.
+        """
+        return self.value(lam) - self.value(np.asarray(lam) - np.asarray(x))
+
+    def loss_derivative(self, lam: ArrayLike, x: ArrayLike) -> ArrayLike:
+        """``Y'(x) = U'(lam - x)``, the marginal utility loss of shedding."""
+        return self.derivative(np.asarray(lam) - np.asarray(x))
+
+    def __call__(self, a: ArrayLike) -> ArrayLike:
+        return self.value(a)
+
+
+class LinearUtility(UtilityFunction):
+    """``U(a) = weight * a`` -- throughput utility (paper's Figure 4)."""
+
+    def __init__(self, weight: float = 1.0):
+        if weight <= 0:
+            raise ValidationError(f"linear utility weight must be > 0, got {weight}")
+        self.weight = float(weight)
+
+    def value(self, a: ArrayLike) -> ArrayLike:
+        return self.weight * np.asarray(a, dtype=float)
+
+    def derivative(self, a: ArrayLike) -> ArrayLike:
+        return np.full_like(np.asarray(a, dtype=float), self.weight)
+
+    def __repr__(self) -> str:
+        return f"LinearUtility(weight={self.weight})"
+
+
+class LogUtility(UtilityFunction):
+    """``U(a) = weight * log(offset + a)`` -- proportional-fairness style.
+
+    The ``offset`` (default 1) keeps the utility finite at ``a = 0``, which is
+    required because the algorithm starts with *all* traffic shed (``a_j = 0``)
+    and the dummy-link cost derivative ``U'(lam - x)`` must stay bounded as
+    ``x -> lam``.
+    """
+
+    def __init__(self, weight: float = 1.0, offset: float = 1.0):
+        if weight <= 0:
+            raise ValidationError(f"log utility weight must be > 0, got {weight}")
+        if offset <= 0:
+            raise ValidationError(f"log utility offset must be > 0, got {offset}")
+        self.weight = float(weight)
+        self.offset = float(offset)
+
+    def value(self, a: ArrayLike) -> ArrayLike:
+        return self.weight * np.log(self.offset + np.asarray(a, dtype=float))
+
+    def derivative(self, a: ArrayLike) -> ArrayLike:
+        return self.weight / (self.offset + np.asarray(a, dtype=float))
+
+    def __repr__(self) -> str:
+        return f"LogUtility(weight={self.weight}, offset={self.offset})"
+
+
+class AlphaFairUtility(UtilityFunction):
+    """The alpha-fair family ``U(a) = w * (offset + a)^(1-alpha) / (1-alpha)``.
+
+    ``alpha = 0`` is throughput, ``alpha -> 1`` is proportional fairness
+    (handled by delegating to :class:`LogUtility`), ``alpha = 2`` is minimum
+    potential delay fairness.  The ``offset`` keeps derivatives bounded at 0.
+    """
+
+    def __init__(self, alpha: float, weight: float = 1.0, offset: float = 1.0):
+        if alpha < 0:
+            raise ValidationError(f"alpha must be >= 0, got {alpha}")
+        if weight <= 0:
+            raise ValidationError(f"weight must be > 0, got {weight}")
+        if offset < 0:
+            raise ValidationError(f"offset must be >= 0, got {offset}")
+        if offset == 0 and alpha >= 1:
+            raise ValidationError("offset must be > 0 when alpha >= 1")
+        self.alpha = float(alpha)
+        self.weight = float(weight)
+        self.offset = float(offset)
+        self._log = (
+            LogUtility(weight=weight, offset=offset)
+            if math.isclose(alpha, 1.0)
+            else None
+        )
+
+    def value(self, a: ArrayLike) -> ArrayLike:
+        if self._log is not None:
+            return self._log.value(a)
+        base = self.offset + np.asarray(a, dtype=float)
+        return self.weight * base ** (1.0 - self.alpha) / (1.0 - self.alpha)
+
+    def derivative(self, a: ArrayLike) -> ArrayLike:
+        if self._log is not None:
+            return self._log.derivative(a)
+        base = self.offset + np.asarray(a, dtype=float)
+        return self.weight * base ** (-self.alpha)
+
+    def __repr__(self) -> str:
+        return (
+            f"AlphaFairUtility(alpha={self.alpha}, weight={self.weight}, "
+            f"offset={self.offset})"
+        )
+
+
+class SqrtUtility(UtilityFunction):
+    """``U(a) = weight * sqrt(offset + a)`` -- a strictly concave benchmark."""
+
+    def __init__(self, weight: float = 1.0, offset: float = 1.0):
+        if weight <= 0:
+            raise ValidationError(f"weight must be > 0, got {weight}")
+        if offset <= 0:
+            raise ValidationError(f"offset must be > 0, got {offset}")
+        self.weight = float(weight)
+        self.offset = float(offset)
+
+    def value(self, a: ArrayLike) -> ArrayLike:
+        return self.weight * np.sqrt(self.offset + np.asarray(a, dtype=float))
+
+    def derivative(self, a: ArrayLike) -> ArrayLike:
+        return 0.5 * self.weight / np.sqrt(self.offset + np.asarray(a, dtype=float))
+
+    def __repr__(self) -> str:
+        return f"SqrtUtility(weight={self.weight}, offset={self.offset})"
+
+
+class CappedLinearUtility(UtilityFunction):
+    """Linear up to a knee, then flat -- smoothed to stay concave & C^1.
+
+    ``U(a) = weight * (a - softness * log(1 + exp((a - cap)/softness)))``
+    approximates ``min(a, cap)``; useful for modelling queries whose value
+    saturates beyond a target rate.  Increasing and concave for all ``a``.
+    """
+
+    def __init__(self, cap: float, weight: float = 1.0, softness: float = 0.1):
+        if cap <= 0:
+            raise ValidationError(f"cap must be > 0, got {cap}")
+        if weight <= 0:
+            raise ValidationError(f"weight must be > 0, got {weight}")
+        if softness <= 0:
+            raise ValidationError(f"softness must be > 0, got {softness}")
+        self.cap = float(cap)
+        self.weight = float(weight)
+        self.softness = float(softness)
+
+    def _softplus(self, z: ArrayLike) -> ArrayLike:
+        # numerically stable softplus
+        z = np.asarray(z, dtype=float)
+        return np.logaddexp(0.0, z)
+
+    def value(self, a: ArrayLike) -> ArrayLike:
+        a = np.asarray(a, dtype=float)
+        s = self.softness
+        return self.weight * (a - s * self._softplus((a - self.cap) / s))
+
+    def derivative(self, a: ArrayLike) -> ArrayLike:
+        a = np.asarray(a, dtype=float)
+        z = (a - self.cap) / self.softness
+        sigmoid = 0.5 * (1.0 + np.tanh(z / 2.0))
+        return self.weight * (1.0 - sigmoid)
+
+    def __repr__(self) -> str:
+        return (
+            f"CappedLinearUtility(cap={self.cap}, weight={self.weight}, "
+            f"softness={self.softness})"
+        )
+
+
+def check_concave_increasing(
+    utility: UtilityFunction,
+    lo: float = 0.0,
+    hi: float = 100.0,
+    num: int = 257,
+    tol: float = 1e-9,
+) -> None:
+    """Numerically verify that ``utility`` is increasing and concave on [lo, hi].
+
+    Raises :class:`ValidationError` on violation.  Used by model validation to
+    reject user-supplied utilities that break the paper's standing assumption.
+    """
+    grid = np.linspace(lo, hi, num)
+    values = np.asarray(utility.value(grid), dtype=float)
+    derivs = np.asarray(utility.derivative(grid), dtype=float)
+    if not np.all(np.isfinite(values)) or not np.all(np.isfinite(derivs)):
+        raise ValidationError("utility produced non-finite values on test grid")
+    if np.any(derivs < -tol):
+        raise ValidationError("utility is not increasing (negative derivative)")
+    if np.any(np.diff(values) < -tol):
+        raise ValidationError("utility values decrease on test grid")
+    # concavity: derivative must be non-increasing
+    if np.any(np.diff(derivs) > tol):
+        raise ValidationError("utility is not concave (derivative increases)")
+    # derivative consistency: finite differences should match U'.  The
+    # tolerance adapts to how much the derivative itself varies across each
+    # cell, so sharply-kneed (but correct) utilities pass while a derivative
+    # that disagrees with the values is still caught.
+    mid = 0.5 * (grid[:-1] + grid[1:])
+    fd = np.diff(values) / np.diff(grid)
+    md = np.asarray(utility.derivative(mid), dtype=float)
+    local_variation = np.abs(derivs[1:] - derivs[:-1])
+    scale = max(1.0, float(np.max(np.abs(md))))
+    if np.any(np.abs(fd - md) > 1e-2 * scale + local_variation):
+        raise ValidationError("utility derivative inconsistent with finite differences")

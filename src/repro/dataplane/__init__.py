@@ -1,0 +1,9 @@
+"""Fluid data plane: execute a solved routing against actual traffic.
+
+Validates the paper's stability criterion -- with arrivals at the admitted
+rates, queues stay bounded and delivery matches ``a_j``.
+"""
+
+from repro.dataplane.fluid import DataPlaneResult, FluidDataPlane
+
+__all__ = ["DataPlaneResult", "FluidDataPlane"]

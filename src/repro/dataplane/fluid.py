@@ -1,0 +1,235 @@
+"""Fluid data-plane simulator: run a solved routing against real traffic.
+
+The optimisation layer produces *rates and fractions*; this module checks
+they actually work as a running system.  The paper defines the success
+criterion: an algorithm "is stable if it is able to deliver in the long run
+the injected flow at rate a_j at source s_j" -- i.e. with arrivals at the
+admitted rates, every queue in the network stays bounded and the delivered
+rates converge to the admitted ones.
+
+Mechanics (slotted fluid, deterministic given the input traces):
+
+* each capacity node keeps one fluid queue per commodity (node-local
+  units);
+* arrivals for commodity ``j`` join the queue at its source (external
+  shaping -- e.g. :class:`repro.core.admission.AdmissionController` -- is
+  the caller's job; this layer just moves fluid);
+* per slot, node ``i`` wants to process its whole backlog and forward it
+  along its routing fractions: serving one unit of ``j`` consumes
+  ``r_i(j) = sum_e phi_e c_e`` of the node budget and emits
+  ``phi_e beta_e`` units to each head; when the backlog's total demand
+  exceeds ``C_i`` per slot, service is scaled proportionally (fluid
+  processor sharing);
+* sinks absorb; delivered fluid is converted back to source units through
+  the Property-1 potentials so rates are comparable with ``a_j``.
+
+Queues growing linearly <=> offered load beyond what the routing can carry
+-- exactly what happens when traffic is not admission-controlled
+(``bench_stability.py`` measures both regimes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.routing import RoutingState, validate_routing
+from repro.core.transform import ExtendedNetwork, ExtEdgeKind
+from repro.exceptions import SimulationError
+
+__all__ = ["DataPlaneResult", "FluidDataPlane"]
+
+
+@dataclass
+class DataPlaneResult:
+    """Outcome of a data-plane run."""
+
+    num_slots: int
+    slot_length: float
+    delivered: Dict[str, float]  # total delivered per commodity, source units
+    delivered_rates: Dict[str, float]  # delivered / horizon
+    offered: Dict[str, float]  # total offered per commodity (source units)
+    queue_trace: np.ndarray  # (num_samples,) total queued fluid over time
+    queue_sample_slots: np.ndarray
+    final_queue_by_commodity: Dict[str, float]
+
+    @property
+    def total_backlog(self) -> float:
+        return float(self.queue_trace[-1]) if self.queue_trace.size else 0.0
+
+    def queue_growth_rate(self) -> float:
+        """Least-squares slope of the total-queue trace over its second half
+        (units of fluid per slot); ~0 for a stable system."""
+        if self.queue_trace.size < 4:
+            return 0.0
+        half = self.queue_trace.size // 2
+        xs = self.queue_sample_slots[half:].astype(float)
+        ys = self.queue_trace[half:]
+        xs = xs - xs.mean()
+        denominator = float((xs**2).sum())
+        if denominator == 0.0:
+            return 0.0
+        return float((xs * (ys - ys.mean())).sum() / denominator)
+
+    def is_stable(self, growth_ratio_tolerance: float = 0.1) -> bool:
+        """Stable iff the backlog does not grow materially over the second
+        half of the run: projected growth ``slope * window`` must stay below
+        ``growth_ratio_tolerance`` of the prevailing queue level (with an
+        absolute floor of 1 fluid unit, so empty systems count as stable)."""
+        if self.queue_trace.size < 4:
+            return True
+        half = self.queue_trace.size // 2
+        window = float(
+            self.queue_sample_slots[-1] - self.queue_sample_slots[half]
+        )
+        projected_growth = self.queue_growth_rate() * window
+        level = max(1.0, float(np.mean(self.queue_trace[half:])))
+        return projected_growth <= growth_ratio_tolerance * level
+
+
+class FluidDataPlane:
+    """Slotted fluid execution of a routing decision on the extended graph."""
+
+    def __init__(
+        self,
+        ext: ExtendedNetwork,
+        routing: RoutingState,
+        slot_length: float = 1.0,
+    ) -> None:
+        if slot_length <= 0:
+            raise SimulationError("slot_length must be > 0")
+        validate_routing(ext, routing)
+        self.ext = ext
+        self.routing = routing
+        self.slot_length = float(slot_length)
+        self._build_static()
+
+    def _build_static(self) -> None:
+        ext = self.ext
+        phi = self.routing.phi
+        # per (commodity, node): the resource demand per unit served and the
+        # forwarding lists (head, amount emitted per unit served)
+        self.unit_demand = np.zeros((ext.num_commodities, ext.num_nodes))
+        self.forwards: List[List[List[tuple]]] = [
+            [[] for __ in range(ext.num_nodes)]
+            for __ in range(ext.num_commodities)
+        ]
+        sink_set = {view.sink for view in ext.commodities}
+        for view in ext.commodities:
+            j = view.index
+            for node in view.node_indices:
+                if node == view.sink:
+                    continue
+                for e in ext.commodity_out_edges[j][node]:
+                    kind = ext.edges[e].kind
+                    if kind in (ExtEdgeKind.DUMMY_INPUT, ExtEdgeKind.DUMMY_DIFFERENCE):
+                        continue  # dummies are the control plane, not data
+                    fraction = phi[j, e]
+                    if fraction <= 0.0:
+                        continue
+                    self.unit_demand[j, node] += fraction * ext.cost[j, e]
+                    head = int(ext.edge_head[e])
+                    emit = fraction * ext.gain[j, e]
+                    if head in sink_set:
+                        # convert to source units on delivery: one head unit
+                        # is 1/g[j, head] source units (Property 1)
+                        emit = emit / ext.node_potentials[j, head]
+                        self.forwards[j][node].append((head, emit, True))
+                    else:
+                        self.forwards[j][node].append((head, emit, False))
+        self.g = ext.node_potentials
+        self.sources = {
+            view.name: (view.index, view.source) for view in ext.commodities
+        }
+
+    def run(
+        self,
+        traces: Mapping[str, Sequence[float]],
+        record_every: int = 10,
+    ) -> DataPlaneResult:
+        """Push the given arrival traces through the network.
+
+        ``traces[name][t]`` is the fluid volume (source units) arriving for
+        commodity ``name`` in slot ``t``; all traces must share a length.
+        """
+        ext = self.ext
+        names = [view.name for view in ext.commodities]
+        unknown = set(traces) - set(names)
+        if unknown:
+            raise SimulationError(f"traces for unknown commodities: {sorted(unknown)}")
+        arrays = {
+            name: np.asarray(traces.get(name, ()), dtype=float) for name in names
+        }
+        lengths = {arr.size for arr in arrays.values() if arr.size}
+        if not lengths:
+            raise SimulationError("no arrival traces given")
+        if len(lengths) != 1:
+            raise SimulationError("all traces must have the same length")
+        (num_slots,) = lengths
+        for name, arr in arrays.items():
+            if arr.size == 0:
+                arrays[name] = np.zeros(num_slots)
+            elif np.any(arr < 0):
+                raise SimulationError(f"negative arrivals in trace {name!r}")
+
+        queues = np.zeros((ext.num_commodities, ext.num_nodes))
+        delivered = np.zeros(ext.num_commodities)
+        budget = np.where(
+            np.isfinite(ext.capacity), ext.capacity * self.slot_length, np.inf
+        )
+
+        samples: List[float] = []
+        sample_slots: List[int] = []
+        for slot in range(num_slots):
+            # arrivals
+            for name, (j, source) in self.sources.items():
+                queues[j, source] += arrays[name][slot]
+
+            # service: proportional scaling per node when oversubscribed
+            demand = np.einsum("jn,jn->n", queues, self.unit_demand)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                scale = np.where(
+                    demand > budget, budget / np.maximum(demand, 1e-300), 1.0
+                )
+            served = queues * scale[np.newaxis, :]
+
+            next_queues = queues - served
+            for j in range(ext.num_commodities):
+                for node in np.nonzero(served[j] > 0)[0]:
+                    amount = served[j, node]
+                    for head, emit, head_is_sink in self.forwards[j][node]:
+                        if head_is_sink:
+                            delivered[j] += amount * emit  # source units
+                        else:
+                            next_queues[j, head] += amount * emit
+            queues = np.maximum(next_queues, 0.0)
+
+            if slot % record_every == 0 or slot == num_slots - 1:
+                samples.append(float(queues.sum()))
+                sample_slots.append(slot)
+
+        delivered_by_name = {}
+        rates = {}
+        offered_totals = {}
+        horizon = num_slots * self.slot_length
+        for view in ext.commodities:
+            j = view.index
+            delivered_by_name[view.name] = float(delivered[j])
+            rates[view.name] = float(delivered[j]) / horizon
+            offered_totals[view.name] = float(arrays[view.name].sum())
+
+        final_queue = {
+            view.name: float(queues[view.index].sum()) for view in ext.commodities
+        }
+        return DataPlaneResult(
+            num_slots=num_slots,
+            slot_length=self.slot_length,
+            delivered=delivered_by_name,
+            delivered_rates=rates,
+            offered=offered_totals,
+            queue_trace=np.array(samples),
+            queue_sample_slots=np.array(sample_slots),
+            final_queue_by_commodity=final_queue,
+        )

@@ -1,0 +1,201 @@
+"""JSON serialisation for models and solutions.
+
+Lets users keep stream-network models in version control, ship them to the
+CLI (``python -m repro``), and archive solver outputs.  The format is plain
+JSON with an explicit ``format_version`` so future revisions can migrate.
+
+Only model-level objects are serialised; algorithm state (routing fractions)
+is included in solution exports but is not intended as a re-ingestion format
+(re-solve from the model instead).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.commodity import Commodity, StreamNetwork
+from repro.core.network import PhysicalNetwork
+from repro.core.solution import Solution
+from repro.core.utility import (
+    AlphaFairUtility,
+    CappedLinearUtility,
+    LinearUtility,
+    LogUtility,
+    SqrtUtility,
+    UtilityFunction,
+)
+from repro.exceptions import ModelError
+
+FORMAT_VERSION = 1
+
+__all__ = [
+    "utility_to_spec",
+    "utility_from_spec",
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "solution_to_dict",
+    "save_solution",
+]
+
+
+def utility_to_spec(utility: UtilityFunction) -> Dict[str, Any]:
+    """Serialise a library utility to a JSON-safe spec."""
+    if isinstance(utility, LinearUtility):
+        return {"type": "linear", "weight": utility.weight}
+    if isinstance(utility, LogUtility):
+        return {"type": "log", "weight": utility.weight, "offset": utility.offset}
+    if isinstance(utility, AlphaFairUtility):
+        return {
+            "type": "alpha_fair",
+            "alpha": utility.alpha,
+            "weight": utility.weight,
+            "offset": utility.offset,
+        }
+    if isinstance(utility, SqrtUtility):
+        return {"type": "sqrt", "weight": utility.weight, "offset": utility.offset}
+    if isinstance(utility, CappedLinearUtility):
+        return {
+            "type": "capped_linear",
+            "cap": utility.cap,
+            "weight": utility.weight,
+            "softness": utility.softness,
+        }
+    raise ModelError(
+        f"cannot serialise utility of type {type(utility).__name__}; "
+        f"use a library utility or extend repro.io"
+    )
+
+
+def utility_from_spec(spec: Dict[str, Any]) -> UtilityFunction:
+    """Inverse of :func:`utility_to_spec`."""
+    kind = spec.get("type")
+    params = {k: v for k, v in spec.items() if k != "type"}
+    factories = {
+        "linear": LinearUtility,
+        "log": LogUtility,
+        "alpha_fair": AlphaFairUtility,
+        "sqrt": SqrtUtility,
+        "capped_linear": CappedLinearUtility,
+    }
+    if kind not in factories:
+        raise ModelError(f"unknown utility type {kind!r}")
+    return factories[kind](**params)
+
+
+def network_to_dict(network: StreamNetwork) -> Dict[str, Any]:
+    """Serialise a :class:`StreamNetwork` to a JSON-safe dict."""
+    physical = network.physical
+    return {
+        "format_version": FORMAT_VERSION,
+        "nodes": [
+            {
+                "name": node.name,
+                "kind": node.kind.value,
+                **(
+                    {"capacity": node.capacity}
+                    if node.capacity != float("inf")
+                    else {}
+                ),
+            }
+            for node in physical.nodes.values()
+        ],
+        "links": [
+            {"tail": link.tail, "head": link.head, "bandwidth": link.bandwidth}
+            for link in physical.links.values()
+        ],
+        "commodities": [
+            {
+                "name": c.name,
+                "source": c.source,
+                "sink": c.sink,
+                "max_rate": c.max_rate,
+                "utility": utility_to_spec(c.utility),
+                "edges": [list(e) for e in c.edges],
+                "potentials": dict(c.potentials),
+                "costs": [
+                    {"tail": t, "head": h, "cost": cost}
+                    for (t, h), cost in c.costs.items()
+                ],
+            }
+            for c in network.commodities
+        ],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> StreamNetwork:
+    """Inverse of :func:`network_to_dict`; validates the result."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ModelError(
+            f"unsupported format_version {version!r} (expected {FORMAT_VERSION})"
+        )
+    physical = PhysicalNetwork()
+    for node in data.get("nodes", []):
+        if node["kind"] == "sink":
+            physical.add_sink(node["name"])
+        elif node["kind"] == "processing":
+            if "capacity" not in node:
+                raise ModelError(
+                    f"processing node {node['name']!r} needs a capacity"
+                )
+            physical.add_server(node["name"], node["capacity"])
+        else:
+            raise ModelError(f"unknown node kind {node['kind']!r}")
+    for link in data.get("links", []):
+        physical.add_link(link["tail"], link["head"], link["bandwidth"])
+
+    network = StreamNetwork(physical=physical)
+    for spec in data.get("commodities", []):
+        commodity = Commodity(
+            name=spec["name"],
+            source=spec["source"],
+            sink=spec["sink"],
+            max_rate=spec["max_rate"],
+            edges=[tuple(e) for e in spec["edges"]],
+            potentials=spec["potentials"],
+            costs={
+                (entry["tail"], entry["head"]): entry["cost"]
+                for entry in spec["costs"]
+            },
+            utility=utility_from_spec(spec["utility"]),
+        )
+        network.add_commodity(commodity)
+    network.validate()
+    return network
+
+
+def save_network(network: StreamNetwork, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+
+
+def load_network(path: Union[str, Path]) -> StreamNetwork:
+    return network_from_dict(json.loads(Path(path).read_text()))
+
+
+def solution_to_dict(solution: Solution) -> Dict[str, Any]:
+    """Serialise a solution (rates, utility, link flows) to a JSON-safe dict."""
+    link_flows = {
+        f"{tail}->{head}": rate for (tail, head), rate in solution.link_flows().items()
+    }
+    report = solution.feasibility()
+    return {
+        "format_version": FORMAT_VERSION,
+        "method": solution.method,
+        "iterations": solution.iterations,
+        "utility": solution.utility,
+        "admitted": solution.admitted_by_name,
+        "shed": solution.shed_by_name,
+        "link_flows": link_flows,
+        "max_node_utilization": (
+            report.max_utilization if report is not None else None
+        ),
+        "feasible": report.feasible if report is not None else None,
+    }
+
+
+def save_solution(solution: Solution, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(solution_to_dict(solution), indent=2))

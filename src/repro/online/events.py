@@ -1,0 +1,90 @@
+"""Timeline events for online re-optimisation studies.
+
+The paper closes Section 3 observing that the barrier's reserved headroom
+"could be used to better accommodate changing demands, or for faster
+recovery in the case of node or link failures".  These events model exactly
+those disturbances; :mod:`repro.online.orchestrator` replays them against a
+running instance of the algorithm and measures re-convergence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import ModelError
+
+__all__ = [
+    "NetworkEvent",
+    "DemandChange",
+    "LinkFailure",
+    "NodeFailure",
+    "CapacityChange",
+]
+
+
+@dataclass(frozen=True)
+class NetworkEvent:
+    """Base class: something that happens at a given iteration."""
+
+    at_iteration: int
+
+    def __post_init__(self) -> None:
+        if self.at_iteration < 0:
+            raise ModelError("event iteration must be >= 0")
+
+
+@dataclass(frozen=True)
+class DemandChange(NetworkEvent):
+    """Commodity ``commodity`` changes its offered rate to ``new_rate``."""
+
+    commodity: str = ""
+    new_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.commodity:
+            raise ModelError("DemandChange needs a commodity name")
+        if not self.new_rate > 0:
+            raise ModelError("new_rate must be > 0 (drop the commodity instead)")
+
+
+@dataclass(frozen=True)
+class LinkFailure(NetworkEvent):
+    """The physical link ``link`` fails (both its bandwidth and the
+    commodity edges riding it disappear)."""
+
+    link: Tuple[str, str] = ("", "")
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.link[0] or not self.link[1]:
+            raise ModelError("LinkFailure needs a (tail, head) link")
+
+
+@dataclass(frozen=True)
+class NodeFailure(NetworkEvent):
+    """Processing node ``node`` fails: it and all adjacent links disappear."""
+
+    node: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ModelError("NodeFailure needs a node name")
+
+
+@dataclass(frozen=True)
+class CapacityChange(NetworkEvent):
+    """Node ``node``'s compute budget changes to ``new_capacity`` (models
+    degraded mode, co-located tenants, or elastic scale-up)."""
+
+    node: str = ""
+    new_capacity: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.node:
+            raise ModelError("CapacityChange needs a node name")
+        if not self.new_capacity > 0:
+            raise ModelError("new_capacity must be > 0 (use NodeFailure instead)")

@@ -1,0 +1,259 @@
+"""Apply network events and carry the routing state across the rebuild.
+
+Three jobs:
+
+* :func:`apply_event` -- produce a *new* :class:`StreamNetwork` reflecting a
+  demand change, capacity change, or link/node failure.  Commodities whose
+  sink becomes unreachable are dropped (and reported): their traffic simply
+  cannot be served any more.
+* :func:`remap_routing` -- translate a routing state from the old extended
+  graph onto the new one.  Extended edges are identified by stable keys
+  (edge kind + physical link, or edge kind + commodity name for the dummy
+  links); fractions on vanished edges are redistributed proportionally, and
+  nodes with no surviving information fall back to the shed-everything
+  default, so the result is always a valid routing decision.
+* :func:`emergency_shed` -- after a capacity-reducing event the carried
+  routing may oversubscribe surviving nodes.  This scales every commodity's
+  admission down (moving the surplus onto the dummy difference link -- the
+  transformation's built-in load-shedding path) until the hard capacities
+  hold again, via bisection on a global admission factor.  This is the
+  "load shedding on failure" reflex a production system would wire to the
+  same mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.commodity import Commodity, StreamNetwork
+from repro.core.network import NodeKind, PhysicalNetwork
+from repro.core.routing import RoutingState, feasibility_report, initial_routing
+from repro.core.transform import ExtendedNetwork, ExtEdgeKind
+from repro.exceptions import ModelError
+from repro.online.events import (
+    CapacityChange,
+    DemandChange,
+    LinkFailure,
+    NetworkEvent,
+    NodeFailure,
+)
+
+Edge = Tuple[str, str]
+
+__all__ = ["RebuildResult", "apply_event", "remap_routing", "emergency_shed"]
+
+
+class RebuildResult:
+    """Outcome of applying one event: the new model plus what was lost."""
+
+    def __init__(
+        self, network: StreamNetwork, dropped_commodities: List[str]
+    ) -> None:
+        self.network = network
+        self.dropped_commodities = dropped_commodities
+
+
+def _copy_physical(
+    source: PhysicalNetwork,
+    drop_nodes: Optional[set] = None,
+    drop_links: Optional[set] = None,
+    capacity_overrides: Optional[Dict[str, float]] = None,
+) -> PhysicalNetwork:
+    drop_nodes = drop_nodes or set()
+    drop_links = drop_links or set()
+    capacity_overrides = capacity_overrides or {}
+    new = PhysicalNetwork()
+    for node in source.nodes.values():
+        if node.name in drop_nodes:
+            continue
+        if node.kind is NodeKind.SINK:
+            new.add_sink(node.name)
+        else:
+            new.add_server(
+                node.name, capacity_overrides.get(node.name, node.capacity)
+            )
+    for link in source.links.values():
+        if link.key in drop_links:
+            continue
+        if link.tail in drop_nodes or link.head in drop_nodes:
+            continue
+        new.add_link(link.tail, link.head, link.bandwidth)
+    return new
+
+
+def _rebuild_commodity(
+    commodity: Commodity,
+    physical: PhysicalNetwork,
+    new_rate: Optional[float] = None,
+) -> Optional[Commodity]:
+    """Re-derive a commodity on a (possibly reduced) physical network.
+
+    Returns ``None`` when the sink is no longer reachable from the source.
+    """
+    surviving = [e for e in commodity.edges if physical.has_link(*e)]
+    if commodity.source not in physical.nodes or commodity.sink not in physical.nodes:
+        return None
+    try:
+        return Commodity.from_subgraph(
+            name=commodity.name,
+            source=commodity.source,
+            sink=commodity.sink,
+            max_rate=new_rate if new_rate is not None else commodity.max_rate,
+            edges=surviving,
+            potentials={
+                n: commodity.potentials[n]
+                for e in surviving
+                for n in e
+            },
+            costs={e: commodity.costs[e] for e in surviving},
+            utility=commodity.utility,
+            prune=True,
+        )
+    except Exception:
+        return None
+
+
+def apply_event(network: StreamNetwork, event: NetworkEvent) -> RebuildResult:
+    """Return the post-event model; never mutates the input network."""
+    if isinstance(event, DemandChange):
+        names = [c.name for c in network.commodities]
+        if event.commodity not in names:
+            raise ModelError(f"unknown commodity {event.commodity!r}")
+        physical = _copy_physical(network.physical)
+        rebuilt = StreamNetwork(physical=physical)
+        for commodity in network.commodities:
+            rate = event.new_rate if commodity.name == event.commodity else None
+            fresh = _rebuild_commodity(commodity, physical, new_rate=rate)
+            assert fresh is not None  # topology unchanged
+            rebuilt.add_commodity(fresh)
+        return RebuildResult(rebuilt, [])
+
+    if isinstance(event, CapacityChange):
+        if event.node not in network.physical.nodes:
+            raise ModelError(f"unknown node {event.node!r}")
+        if network.physical.node(event.node).is_sink:
+            raise ModelError("sinks have no capacity to change")
+        physical = _copy_physical(
+            network.physical, capacity_overrides={event.node: event.new_capacity}
+        )
+        rebuilt = StreamNetwork(physical=physical)
+        for commodity in network.commodities:
+            fresh = _rebuild_commodity(commodity, physical)
+            assert fresh is not None
+            rebuilt.add_commodity(fresh)
+        return RebuildResult(rebuilt, [])
+
+    if isinstance(event, LinkFailure):
+        if not network.physical.has_link(*event.link):
+            raise ModelError(f"unknown link {event.link!r}")
+        physical = _copy_physical(network.physical, drop_links={event.link})
+    elif isinstance(event, NodeFailure):
+        if event.node not in network.physical.nodes:
+            raise ModelError(f"unknown node {event.node!r}")
+        if network.physical.node(event.node).is_sink:
+            raise ModelError("modelling sink failure is not supported")
+        physical = _copy_physical(network.physical, drop_nodes={event.node})
+    else:
+        raise ModelError(f"unknown event type {type(event).__name__}")
+
+    rebuilt = StreamNetwork(physical=physical)
+    dropped: List[str] = []
+    for commodity in network.commodities:
+        fresh = _rebuild_commodity(commodity, physical)
+        if fresh is None:
+            dropped.append(commodity.name)
+        else:
+            rebuilt.add_commodity(fresh)
+    if not rebuilt.commodities:
+        raise ModelError("event disconnected every commodity; nothing to run")
+    return RebuildResult(rebuilt, dropped)
+
+
+def _edge_key(ext: ExtendedNetwork, edge_index: int) -> Tuple:
+    edge = ext.edges[edge_index]
+    if edge.kind in (ExtEdgeKind.PROCESSING, ExtEdgeKind.TRANSFER):
+        return (edge.kind.value, edge.physical_link)
+    return (edge.kind.value, ext.commodities[edge.commodity].name)
+
+
+def remap_routing(
+    old_ext: ExtendedNetwork,
+    old_routing: RoutingState,
+    new_ext: ExtendedNetwork,
+) -> RoutingState:
+    """Carry routing fractions from ``old_ext`` onto ``new_ext``.
+
+    Surviving edges keep their fractions (renormalised per node); nodes with
+    no surviving out-fraction mass fall back to the shed-everything default.
+    The result is always a valid routing decision on ``new_ext``.
+    """
+    old_values: Dict[Tuple[str, Tuple], float] = {}
+    for view in old_ext.commodities:
+        for e in view.edge_indices:
+            old_values[(view.name, _edge_key(old_ext, e))] = float(
+                old_routing.phi[view.index, e]
+            )
+
+    routing = initial_routing(new_ext)
+    for view in new_ext.commodities:
+        j = view.index
+        for node in view.node_indices:
+            if node == view.sink:
+                continue
+            out = new_ext.commodity_out_edges[j][node]
+            if not out:
+                continue
+            carried = np.array(
+                [
+                    old_values.get((view.name, _edge_key(new_ext, e)), 0.0)
+                    for e in out
+                ]
+            )
+            total = float(carried.sum())
+            if total > 1e-12:
+                routing.phi[j, out] = carried / total
+    return routing
+
+
+def emergency_shed(
+    ext: ExtendedNetwork,
+    routing: RoutingState,
+    utilization_target: float = 0.98,
+    bisection_steps: int = 40,
+) -> RoutingState:
+    """Scale admissions down until no node exceeds ``utilization_target``.
+
+    Each commodity's dummy splits ``(phi_in, phi_diff)``; we scale every
+    ``phi_in`` by a common factor ``s`` (surplus goes to the difference
+    link) and bisect on the largest feasible ``s`` in ``[0, 1]``.  Interior
+    routing fractions are untouched, so the relative path split survives.
+    """
+    if not 0.0 < utilization_target <= 1.0:
+        raise ModelError("utilization_target must be in (0, 1]")
+
+    base = routing.copy()
+
+    def with_admission_scale(scale: float) -> RoutingState:
+        scaled = base.copy()
+        for view in ext.commodities:
+            j = view.index
+            admit = base.phi[j, view.input_edge] * scale
+            scaled.phi[j, view.input_edge] = admit
+            scaled.phi[j, view.difference_edge] = 1.0 - admit
+        return scaled
+
+    def peak_utilization(candidate: RoutingState) -> float:
+        return feasibility_report(ext, candidate).max_utilization
+
+    if peak_utilization(base) <= utilization_target:
+        return base
+    lo, hi = 0.0, 1.0
+    for __ in range(bisection_steps):
+        mid = 0.5 * (lo + hi)
+        if peak_utilization(with_admission_scale(mid)) <= utilization_target:
+            lo = mid
+        else:
+            hi = mid
+    return with_admission_scale(lo)

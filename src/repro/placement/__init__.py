@@ -1,0 +1,10 @@
+"""Operator placement: embed task chains onto the physical network.
+
+Fills the gap the paper leaves open ("we assume the task to server
+assignment is given", citing Srivastava et al. [14]) with an LP-scored
+greedy/local-search placer.
+"""
+
+from repro.placement.greedy import PlacementResult, feasible_hosts, place_task_chain
+
+__all__ = ["PlacementResult", "feasible_hosts", "place_task_chain"]

@@ -1,0 +1,31 @@
+"""Message-passing distributed-simulation substrate.
+
+Runs the paper's algorithm as an actual protocol between per-node agents
+over a deterministic event engine, with message/round accounting.
+"""
+
+from repro.simulation.agent import CommodityPort, NodeAgent
+from repro.simulation.engine import EventEngine
+from repro.simulation.messages import (
+    ForecastMessage,
+    MarginalCostMessage,
+    Message,
+    RoutingSignalMessage,
+)
+from repro.simulation.metrics import IterationMetrics, MessageMetrics, PhaseMetrics
+from repro.simulation.runner import DistributedGradientRun, DistributedRunResult
+
+__all__ = [
+    "CommodityPort",
+    "NodeAgent",
+    "EventEngine",
+    "ForecastMessage",
+    "MarginalCostMessage",
+    "Message",
+    "RoutingSignalMessage",
+    "IterationMetrics",
+    "MessageMetrics",
+    "PhaseMetrics",
+    "DistributedGradientRun",
+    "DistributedRunResult",
+]

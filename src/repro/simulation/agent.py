@@ -1,0 +1,349 @@
+"""Per-node agents executing the paper's distributed protocols.
+
+Each :class:`NodeAgent` owns exactly the state a real server would: its own
+routing fractions, its last forecast traffic ``t_i(j)``, its own resource
+usage ``f_i``, and whatever its neighbours told it this iteration.  One
+iteration of the algorithm is three phases (paper, Section 5):
+
+1. **Marginal-cost wave** (upstream): per commodity, the sink broadcasts
+   ``dA/dr = 0``; every node waits until it has heard from *all* of its
+   out-neighbours, computes its per-edge marginals ``delta_e`` (eq. (15)'s
+   bracket, using only local ``f`` and the received values), derives its own
+   ``dA/dr_i(j)`` (eq. (9)) and loop-freedom tag (eq. (18)), and broadcasts
+   them to its in-neighbours.  Deadlock-free because commodity subgraphs are
+   DAGs (and, in general, whenever the routing set is loop free).
+2. **Routing update** (local): every node applies the update map ``Gamma``
+   via the *shared* node-local kernel
+   :func:`repro.core.gradient.apply_gamma_at_node` -- the same function the
+   synchronous engine calls, which is what makes the two implementations
+   bit-identical.
+3. **Forecast wave** (downstream): every node signals each out-neighbour
+   whether the edge is active under the new routing; once a node has all
+   signals and the forecast flow from every active upstream, it computes its
+   next-iteration traffic (eq. (3)) and forwards gain-scaled forecasts.  The
+   node's resource usage ``f_i`` -- its local "resource allocation" for the
+   forecast flows -- follows from eqs. (4)-(5).
+
+The agent raises :class:`ProtocolError` on any out-of-contract message, so
+protocol bugs fail loudly instead of silently corrupting the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.gradient import apply_gamma_at_node
+from repro.core.marginals import CostModel
+from repro.core.transform import ExtendedNetwork
+from repro.exceptions import ProtocolError
+from repro.simulation.engine import EventEngine
+from repro.simulation.messages import (
+    ForecastMessage,
+    MarginalCostMessage,
+    Message,
+    RoutingSignalMessage,
+)
+
+__all__ = ["CommodityPort", "NodeAgent"]
+
+_PHI_POSITIVE_TOL = 1e-12
+
+
+@dataclass
+class CommodityPort:
+    """A node's static wiring and per-iteration scratch for one commodity."""
+
+    commodity: int
+    is_sink: bool
+    is_dummy: bool
+    max_rate: float  # lambda_j at the dummy source, else 0
+    out_edges: List[int] = field(default_factory=list)  # global edge ids
+    out_heads: List[int] = field(default_factory=list)
+    in_tails: List[int] = field(default_factory=list)
+    difference_edge: Optional[int] = None
+
+    # phase A state
+    received_dadr: Dict[int, float] = field(default_factory=dict)
+    received_tag: Dict[int, bool] = field(default_factory=dict)
+    dadr: float = 0.0
+    tag: bool = False
+    delta: Dict[int, float] = field(default_factory=dict)  # per out-edge
+
+    # phase C state
+    signals_received: int = 0
+    active_upstreams: int = 0
+    forecasts_received: int = 0
+    inflow: float = 0.0
+    traffic: float = 0.0
+    forecast_done: bool = False
+
+    def reset_marginal_phase(self) -> None:
+        self.received_dadr.clear()
+        self.received_tag.clear()
+        self.delta.clear()
+        self.dadr = 0.0
+        self.tag = False
+
+    def reset_forecast_phase(self) -> None:
+        self.signals_received = 0
+        self.active_upstreams = 0
+        self.forecasts_received = 0
+        self.inflow = 0.0
+        self.forecast_done = False
+
+
+class NodeAgent:
+    """One extended-graph node participating in the distributed algorithm."""
+
+    def __init__(
+        self,
+        ext: ExtendedNetwork,
+        node: int,
+        cost_model: CostModel,
+        eta: float,
+        traffic_tol: float,
+        use_blocking: bool = True,
+    ):
+        self.ext = ext
+        self.node = node
+        self.cost_model = cost_model
+        self.eta = eta
+        self.traffic_tol = traffic_tol
+        self.use_blocking = use_blocking
+        self.capacity = float(ext.capacity[node])
+        self.usage = 0.0  # f_i: local resource usage under the current forecast
+
+        # phi rows are full-length arrays indexed by global edge id; the agent
+        # only ever touches its own out-edges.
+        self.phi: Dict[int, np.ndarray] = {}
+        self.ports: Dict[int, CommodityPort] = {}
+        for view in ext.commodities:
+            j = view.index
+            if node not in view.node_indices:
+                continue
+            port = CommodityPort(
+                commodity=j,
+                is_sink=(node == view.sink),
+                is_dummy=(node == view.dummy),
+                max_rate=view.max_rate if node == view.dummy else 0.0,
+            )
+            for e in ext.commodity_out_edges[j][node]:
+                port.out_edges.append(e)
+                port.out_heads.append(int(ext.edge_head[e]))
+            for e in ext.in_edges[node]:
+                if ext.allowed[j, e]:
+                    port.in_tails.append(int(ext.edge_tail[e]))
+            if node == view.dummy:
+                port.difference_edge = view.difference_edge
+            self.ports[j] = port
+            self.phi[j] = np.zeros(ext.num_edges, dtype=float)
+
+    # -- initialisation ------------------------------------------------------------
+    def load_routing(self, phi: np.ndarray) -> None:
+        """Install this node's rows of a global ``phi`` (e.g. the shed-all start)."""
+        for j, row in self.phi.items():
+            row[:] = 0.0
+            for e in self.ports[j].out_edges:
+                row[e] = phi[j, e]
+
+    def export_routing(self, phi: np.ndarray) -> None:
+        """Write this node's out-edge fractions into a global ``phi`` array."""
+        for j, row in self.phi.items():
+            for e in self.ports[j].out_edges:
+                phi[j, e] = row[e]
+
+    # -- phase A: marginal-cost wave -------------------------------------------------
+    def begin_marginal_phase(self, engine: EventEngine) -> None:
+        for port in self.ports.values():
+            port.reset_marginal_phase()
+        for port in self.ports.values():
+            if port.is_sink:
+                self._broadcast_marginal(port, engine)
+            elif not port.out_edges:
+                raise ProtocolError(
+                    f"non-sink node {self.node} has no out-edges for "
+                    f"commodity {port.commodity}"
+                )
+            else:
+                self._maybe_finish_marginal(port, engine)
+
+    def _maybe_finish_marginal(self, port: CommodityPort, engine: EventEngine) -> None:
+        if port.is_sink or len(port.received_dadr) < len(port.out_heads):
+            return
+        ext = self.ext
+        j = port.commodity
+        phi_row = self.phi[j]
+        dadr = 0.0
+        for e, head in zip(port.out_edges, port.out_heads):
+            dadf = self._link_cost_derivative(port, e)
+            delta = dadf * ext.cost[j, e] + ext.gain[j, e] * port.received_dadr[head]
+            port.delta[e] = delta
+            dadr += phi_row[e] * delta
+        port.dadr = dadr
+
+        # loop-freedom tag (eq. (18), in source-equivalent units -- see
+        # repro.core.blocking): own improper out-link, or a tagged
+        # positive-phi downstream neighbour.
+        g = ext.node_potentials[j]
+        tag = False
+        for e, head in zip(port.out_edges, port.out_heads):
+            frac = phi_row[e]
+            if frac <= _PHI_POSITIVE_TOL:
+                continue
+            if port.received_tag[head]:
+                tag = True
+                break
+            if g[self.node] * dadr > g[head] * port.received_dadr[head]:
+                continue
+            if port.traffic <= 0.0:
+                continue
+            threshold = (self.eta / port.traffic) * (port.delta[e] - dadr)
+            if frac >= threshold:
+                tag = True
+                break
+        port.tag = tag
+        self._broadcast_marginal(port, engine)
+
+    def _broadcast_marginal(self, port: CommodityPort, engine: EventEngine) -> None:
+        message = MarginalCostMessage(
+            sender=self.node,
+            commodity=port.commodity,
+            value=port.dadr,
+            tagged=port.tag,
+        )
+        for tail in port.in_tails:
+            engine.send(tail, message)
+
+    def _link_cost_derivative(self, port: CommodityPort, edge: int) -> float:
+        """Eq. (11) from purely local state."""
+        if port.difference_edge is not None and edge == port.difference_edge:
+            shed = self.phi[port.commodity][edge] * port.traffic
+            remaining = max(port.max_rate - shed, 0.0)
+            view = self.ext.commodities[port.commodity]
+            return float(view.utility.derivative(remaining))
+        if not np.isfinite(self.capacity):
+            return 0.0
+        return self.cost_model.eps * float(
+            self.cost_model.penalty.derivative(self.usage, self.capacity)
+        )
+
+    # -- phase B: local routing update -----------------------------------------------
+    def apply_routing_update(self) -> None:
+        for j, port in self.ports.items():
+            if port.is_sink or len(port.out_edges) < 2:
+                continue
+            if len(port.received_dadr) < len(port.out_heads):
+                raise ProtocolError(
+                    f"node {self.node} updating commodity {j} before the "
+                    f"marginal-cost wave completed"
+                )
+            delta = np.zeros(self.ext.num_edges, dtype=float)
+            for e in port.out_edges:
+                delta[e] = port.delta[e]
+            blocked = None
+            if self.use_blocking:
+                blocked = np.zeros(self.ext.num_edges, dtype=bool)
+                phi_row = self.phi[j]
+                for e, head in zip(port.out_edges, port.out_heads):
+                    if phi_row[e] <= _PHI_POSITIVE_TOL and port.received_tag[head]:
+                        blocked[e] = True
+            apply_gamma_at_node(
+                self.phi[j],
+                port.traffic,
+                port.out_edges,
+                delta,
+                blocked,
+                self.eta,
+                self.traffic_tol,
+            )
+
+    # -- phase C: forecast wave --------------------------------------------------------
+    def begin_forecast_phase(self, engine: EventEngine) -> None:
+        for port in self.ports.values():
+            port.reset_forecast_phase()
+        for j, port in self.ports.items():
+            phi_row = self.phi[j]
+            for e, head in zip(port.out_edges, port.out_heads):
+                engine.send(
+                    head,
+                    RoutingSignalMessage(
+                        sender=self.node,
+                        commodity=j,
+                        active=bool(phi_row[e] > _PHI_POSITIVE_TOL),
+                    ),
+                )
+        for port in self.ports.values():
+            self._maybe_finish_forecast(port, engine)
+
+    def _maybe_finish_forecast(self, port: CommodityPort, engine: EventEngine) -> None:
+        if port.forecast_done:
+            return
+        if port.signals_received < len(port.in_tails):
+            return
+        if port.forecasts_received < port.active_upstreams:
+            return
+        port.forecast_done = True
+        port.traffic = port.max_rate + port.inflow  # eq. (3), r_i + inflow
+        if not port.is_sink:
+            j = port.commodity
+            phi_row = self.phi[j]
+            for e, head in zip(port.out_edges, port.out_heads):
+                frac = phi_row[e]
+                if frac > _PHI_POSITIVE_TOL:
+                    engine.send(
+                        head,
+                        ForecastMessage(
+                            sender=self.node,
+                            commodity=j,
+                            flow=port.traffic * frac * float(self.ext.gain[j, e]),
+                        ),
+                    )
+        self._refresh_usage()
+
+    def _refresh_usage(self) -> None:
+        """Eqs. (4)-(5): allocate local resource to the forecast flows."""
+        usage = 0.0
+        for j, port in self.ports.items():
+            if port.is_sink or not port.forecast_done:
+                continue
+            phi_row = self.phi[j]
+            for e in port.out_edges:
+                usage += port.traffic * phi_row[e] * float(self.ext.cost[j, e])
+        self.usage = usage
+
+    # -- message dispatch ---------------------------------------------------------------
+    def on_message(self, message: Message, engine: EventEngine) -> None:
+        port = self.ports.get(message.commodity)
+        if port is None:
+            raise ProtocolError(
+                f"node {self.node} got a message for commodity "
+                f"{message.commodity} it does not carry"
+            )
+        if isinstance(message, MarginalCostMessage):
+            if message.sender not in port.out_heads:
+                raise ProtocolError(
+                    f"marginal cost from non-neighbour {message.sender} "
+                    f"at node {self.node}"
+                )
+            port.received_dadr[message.sender] = message.value
+            port.received_tag[message.sender] = message.tagged
+            self._maybe_finish_marginal(port, engine)
+        elif isinstance(message, RoutingSignalMessage):
+            if message.sender not in port.in_tails:
+                raise ProtocolError(
+                    f"routing signal from non-upstream {message.sender} "
+                    f"at node {self.node}"
+                )
+            port.signals_received += 1
+            if message.active:
+                port.active_upstreams += 1
+            self._maybe_finish_forecast(port, engine)
+        elif isinstance(message, ForecastMessage):
+            port.forecasts_received += 1
+            port.inflow += message.flow
+            self._maybe_finish_forecast(port, engine)
+        else:
+            raise ProtocolError(f"unknown message type {type(message).__name__}")

@@ -1,0 +1,78 @@
+"""Typed protocol messages exchanged by node agents.
+
+Section 5 of the paper describes three per-iteration protocol components;
+each maps to a message type here:
+
+* the **marginal-cost protocol**: every node broadcasts
+  ``dA/dr_i(j)`` upstream once it has heard from all of its downstream
+  neighbours -- :class:`MarginalCostMessage`, which also carries the one-bit
+  loop-freedom *tag* of eq. (18);
+* the **routing-update signalling**: after updating ``phi``, each node tells
+  its downstream neighbours whether the edge is active under the new routing
+  -- :class:`RoutingSignalMessage` ("each node i signals the downstream
+  nodes under phi1 so that each node k gets a list of upstream nodes");
+* the **forecast protocol**: each node forwards the commodity flow it will
+  emit on each out-edge next iteration -- :class:`ForecastMessage`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Message",
+    "MarginalCostMessage",
+    "RoutingSignalMessage",
+    "ForecastMessage",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class: every message names its sender node and commodity."""
+
+    sender: int
+    commodity: int
+
+    @property
+    def size_bytes(self) -> int:
+        """Nominal wire size used by the accounting (8 bytes per float/int)."""
+        return 24
+
+
+@dataclass(frozen=True)
+class MarginalCostMessage(Message):
+    """Upstream broadcast of ``dA/dr_sender(j)`` plus the blocking tag."""
+
+    value: float
+    tagged: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return 33  # sender + commodity + float + tag bit
+
+
+@dataclass(frozen=True)
+class RoutingSignalMessage(Message):
+    """Downstream notice: is edge (sender -> receiver) active under phi1?"""
+
+    active: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return 25
+
+
+@dataclass(frozen=True)
+class ForecastMessage(Message):
+    """Downstream forecast: commodity flow arriving over one edge.
+
+    ``flow`` is already gain-scaled, i.e. measured in *receiver* units
+    (``t_tail * phi * beta``), matching eq. (3)'s incoming term.
+    """
+
+    flow: float
+
+    @property
+    def size_bytes(self) -> int:
+        return 32

@@ -1,0 +1,66 @@
+"""Message and round accounting for the distributed protocols.
+
+Backs the paper's Section-6 complexity comparison: a gradient iteration
+needs O(L) sequential message rounds (L = longest routing path) while a
+back-pressure iteration needs O(1).  The engine feeds per-message callbacks;
+the runner snapshots per-phase counters into :class:`IterationMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["MessageMetrics", "PhaseMetrics", "IterationMetrics"]
+
+
+class MessageMetrics:
+    """Running totals of messages and bytes by message type."""
+
+    def __init__(self) -> None:
+        self.messages_total = 0
+        self.bytes_total = 0
+        self.by_type: Dict[str, int] = {}
+
+    def on_send(self, message: object) -> None:
+        self.messages_total += 1
+        self.bytes_total += getattr(message, "size_bytes", 0)
+        name = type(message).__name__
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "messages_total": self.messages_total,
+            "bytes_total": self.bytes_total,
+            **self.by_type,
+        }
+
+
+@dataclass
+class PhaseMetrics:
+    """One protocol phase of one iteration."""
+
+    name: str
+    messages: int
+    bytes: int
+    rounds: int  # sequential depth (engine ticks with unit hop latency)
+
+
+@dataclass
+class IterationMetrics:
+    """All phases of one distributed iteration."""
+
+    iteration: int
+    phases: List[PhaseMetrics] = field(default_factory=list)
+
+    @property
+    def messages(self) -> int:
+        return sum(p.messages for p in self.phases)
+
+    @property
+    def rounds(self) -> int:
+        return sum(p.rounds for p in self.phases)
+
+    @property
+    def bytes(self) -> int:
+        return sum(p.bytes for p in self.phases)

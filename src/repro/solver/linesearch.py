@@ -1,0 +1,43 @@
+"""Backtracking (Armijo) line search for ascent/descent steps."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["armijo_step"]
+
+
+def armijo_step(
+    objective: Callable[[np.ndarray], float],
+    point: np.ndarray,
+    direction: np.ndarray,
+    directional_derivative: float,
+    initial_step: float = 1.0,
+    shrink: float = 0.5,
+    slope_fraction: float = 1e-4,
+    max_backtracks: int = 50,
+) -> float:
+    """Return a step size satisfying the Armijo sufficient-increase condition.
+
+    For *maximisation*: find ``s`` with
+    ``objective(point + s * direction) >= objective(point) +
+    slope_fraction * s * directional_derivative``.
+
+    ``directional_derivative`` must be the (positive) inner product of the
+    gradient with ``direction``; if it is not positive the direction is not
+    an ascent direction and 0.0 is returned.
+    """
+    if directional_derivative <= 0.0:
+        return 0.0
+    base = objective(point)
+    step = initial_step
+    for _ in range(max_backtracks):
+        candidate = objective(point + step * direction)
+        if np.isfinite(candidate) and candidate >= base + (
+            slope_fraction * step * directional_derivative
+        ):
+            return step
+        step *= shrink
+    return 0.0

@@ -1,0 +1,66 @@
+"""Euclidean projection onto the probability simplex.
+
+Used by the projected-gradient solver to keep per-node routing fraction
+vectors ``phi_i.(j)`` on the simplex ``{x >= 0, sum x = 1}``.  Implements the
+classic O(n log n) algorithm (Held, Wolfe & Crowder 1974; popularised by
+Duchi et al. 2008): sort, find the threshold index, shift and clip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["project_to_simplex", "project_rows_to_simplex"]
+
+
+def project_to_simplex(v: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Return the Euclidean projection of ``v`` onto the simplex of the given radius.
+
+    ``argmin_x ||x - v||_2  s.t.  x >= 0, sum(x) = radius``.
+
+    Parameters
+    ----------
+    v:
+        1-D input vector.
+    radius:
+        Simplex scale (must be > 0); 1 for probability vectors.
+    """
+    v = np.asarray(v, dtype=float)
+    if v.ndim != 1:
+        raise ValueError(f"expected 1-D input, got shape {v.shape}")
+    if not radius > 0:
+        raise ValueError(f"radius must be > 0, got {radius}")
+    n = v.size
+    if n == 0:
+        raise ValueError("cannot project an empty vector")
+    if n == 1:
+        return np.array([radius])
+
+    u = np.sort(v)[::-1]
+    cumulative = np.cumsum(u) - radius
+    indices = np.arange(1, n + 1)
+    mask = u - cumulative / indices > 0
+    rho = int(indices[mask][-1])
+    theta = cumulative[rho - 1] / rho
+    return np.maximum(v - theta, 0.0)
+
+
+def project_rows_to_simplex(matrix: np.ndarray, radius: float = 1.0) -> np.ndarray:
+    """Project every row of a 2-D array onto the simplex (vectorised).
+
+    Equivalent to calling :func:`project_to_simplex` per row, but sorts all
+    rows at once.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected 2-D input, got shape {matrix.shape}")
+    rows, n = matrix.shape
+    if n == 0:
+        raise ValueError("cannot project rows of width 0")
+    u = np.sort(matrix, axis=1)[:, ::-1]
+    cumulative = np.cumsum(u, axis=1) - radius
+    indices = np.arange(1, n + 1)
+    mask = u - cumulative / indices > 0
+    rho = n - np.argmax(mask[:, ::-1], axis=1)  # last True index + 1
+    theta = cumulative[np.arange(rows), rho - 1] / rho
+    return np.maximum(matrix - theta[:, None], 0.0)

@@ -1,0 +1,39 @@
+"""Workload generators: random networks, controlled topologies, arrival traces."""
+
+from repro.workloads.layered import diamond_network, layered_network, tandem_network
+from repro.workloads.random_network import (
+    RandomNetworkSpec,
+    paper_figure4_network,
+    random_stream_network,
+)
+from repro.workloads.scenarios import (
+    figure1_network,
+    financial_pipeline_network,
+    sensor_fusion_network,
+)
+from repro.workloads.traces import (
+    TraceStats,
+    constant_trace,
+    mmpp_trace,
+    onoff_trace,
+    poisson_trace,
+    trace_stats,
+)
+
+__all__ = [
+    "diamond_network",
+    "layered_network",
+    "tandem_network",
+    "RandomNetworkSpec",
+    "paper_figure4_network",
+    "random_stream_network",
+    "figure1_network",
+    "financial_pipeline_network",
+    "sensor_fusion_network",
+    "TraceStats",
+    "constant_trace",
+    "mmpp_trace",
+    "onoff_trace",
+    "poisson_trace",
+    "trace_stats",
+]

@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_extended_network
+from repro.core.gradient import GradientConfig
+from repro.core.marginals import CostModel
+from repro.workloads import (
+    diamond_network,
+    figure1_network,
+    paper_figure4_network,
+    random_stream_network,
+)
+from repro.workloads.random_network import RandomNetworkSpec
+
+
+@pytest.fixture(scope="session")
+def diamond_ext():
+    """Extended network of the 4-node diamond (hand-checkable optimum of 20)."""
+    return build_extended_network(diamond_network())
+
+
+@pytest.fixture(scope="session")
+def figure1_ext():
+    """Extended network of the paper's Figure-1 example."""
+    return build_extended_network(figure1_network())
+
+
+@pytest.fixture(scope="session")
+def small_random_ext():
+    """A small random instance (fast for marginal/optimality checks)."""
+    spec = RandomNetworkSpec(
+        num_nodes=14,
+        num_commodities=2,
+        depth_range=(3, 3),
+        layer_width_range=(2, 3),
+    )
+    return build_extended_network(random_stream_network(spec, seed=3))
+
+
+@pytest.fixture(scope="session")
+def figure4_ext():
+    """The paper's Figure-4 workload (40 nodes, 3 commodities)."""
+    return build_extended_network(paper_figure4_network(seed=7))
+
+
+@pytest.fixture
+def cost_model():
+    return CostModel(eps=0.2)
+
+
+@pytest.fixture
+def fast_config():
+    return GradientConfig(eta=0.05, max_iterations=2000)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

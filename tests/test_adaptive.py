@@ -1,0 +1,131 @@
+"""Tests for the adaptive step scale and extended-network node potentials."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_extended_network
+from repro.core.gradient import GradientAlgorithm, GradientConfig
+from repro.core.optimal import solve_lp
+from repro.core.penalty import InverseBarrier
+from repro.online import NodeFailure, apply_event
+from repro.workloads import diamond_network, figure1_network, paper_figure4_network
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"eta_backoff": 0.0},
+            {"eta_backoff": 1.0},
+            {"eta_growth": 0.9},
+            {"eta_min_factor": 0.0},
+            {"eta_max_factor": 0.5},
+        ],
+    )
+    def test_rejects_bad_adaptive_params(self, kwargs):
+        with pytest.raises(ValueError):
+            GradientConfig(**kwargs)
+
+
+class TestAdaptiveEta:
+    def test_matches_fixed_when_stable(self, diamond_ext):
+        """On an easy instance the adaptive run reaches the same answer."""
+        fixed = GradientAlgorithm(
+            diamond_ext, GradientConfig(eta=0.05, max_iterations=3000)
+        ).run()
+        adaptive = GradientAlgorithm(
+            diamond_ext,
+            GradientConfig(eta=0.05, max_iterations=3000, adaptive_eta=True),
+        ).run()
+        assert adaptive.solution.utility == pytest.approx(
+            fixed.solution.utility, rel=1e-3
+        )
+
+    def test_rescues_oscillating_step_scale(self):
+        """The post-failure Figure-4 instance oscillates at a fixed eta=0.04
+        but converges with adaptation (the motivating case)."""
+        network = paper_figure4_network(seed=7)
+        after = apply_event(network, NodeFailure(at_iteration=1, node="n7")).network
+        ext = build_extended_network(after, require_connected=False)
+        lp = solve_lp(ext)
+
+        fixed = GradientAlgorithm(
+            ext, GradientConfig(eta=0.04, max_iterations=6000, record_every=50)
+        ).run()
+        adaptive = GradientAlgorithm(
+            ext,
+            GradientConfig(
+                eta=0.04, max_iterations=6000, record_every=50, adaptive_eta=True
+            ),
+        ).run()
+        assert adaptive.solution.utility >= 0.95 * lp.utility
+        assert adaptive.solution.utility > fixed.solution.utility
+
+    def test_step_accepts_eta_override(self, diamond_ext):
+        from repro.core.routing import initial_routing
+
+        algo = GradientAlgorithm(diamond_ext, GradientConfig(eta=0.04))
+        routing = initial_routing(diamond_ext)
+        small = algo.step(routing, eta=1e-6)
+        big = algo.step(routing, eta=0.1)
+        view = diamond_ext.commodities[0]
+        assert big.phi[0, view.input_edge] > small.phi[0, view.input_edge]
+
+
+class TestNodePotentials:
+    def test_source_units_from_dummy(self, figure1_ext):
+        g = figure1_ext.node_potentials
+        for view in figure1_ext.commodities:
+            assert g[view.index, view.dummy] == pytest.approx(1.0)
+            # dummy input link has gain 1 => source potential is 1 too
+            assert g[view.index, view.source] == pytest.approx(1.0)
+
+    def test_matches_commodity_gain_products(self, figure1_ext):
+        """g_head = g_tail * beta on every non-difference edge."""
+        g = figure1_ext.node_potentials
+        for view in figure1_ext.commodities:
+            j = view.index
+            for e in view.edge_indices:
+                if e == view.difference_edge:
+                    continue
+                tail = figure1_ext.edge_tail[e]
+                head = figure1_ext.edge_head[e]
+                assert g[j, head] == pytest.approx(
+                    g[j, tail] * figure1_ext.gain[j, e]
+                )
+
+    def test_sink_potential_is_chain_gain_product(self):
+        ext = build_extended_network(figure1_network())
+        view = ext.commodity_view("S1")
+        # S1 task gains: 0.8 * 0.6 * 1.2 * 1.0
+        assert ext.node_potentials[view.index, view.sink] == pytest.approx(
+            0.8 * 0.6 * 1.2 * 1.0
+        )
+
+
+class TestBarrierTailStiffness:
+    def test_stiffer_tail_grows_faster(self):
+        soft = InverseBarrier(tail_stiffness=1.0)
+        stiff = InverseBarrier(tail_stiffness=16.0)
+        capacity = 10.0
+        overload = 11.0
+        assert stiff.value(overload, capacity) > soft.value(overload, capacity)
+        assert stiff.derivative(overload, capacity) > soft.derivative(
+            overload, capacity
+        )
+
+    def test_identical_inside_capacity(self):
+        soft = InverseBarrier(tail_stiffness=1.0)
+        stiff = InverseBarrier(tail_stiffness=16.0)
+        grid = np.linspace(0.0, 9.8, 50)  # below the 0.99 switch
+        np.testing.assert_allclose(
+            soft.value(grid, 10.0), stiff.value(grid, 10.0)
+        )
+
+    def test_rejects_sub_unit_stiffness(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            InverseBarrier(tail_stiffness=0.5)

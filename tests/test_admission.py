@@ -1,0 +1,132 @@
+"""Tests for the admission-control front end (token bucket shaping)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_extended_network, solve
+from repro.core.admission import AdmissionController, TokenBucket
+from repro.core.gradient import GradientAlgorithm, GradientConfig
+from repro.exceptions import ModelError
+from repro.workloads import diamond_network, onoff_trace, poisson_trace
+
+
+@pytest.fixture(scope="module")
+def diamond_solution():
+    ext = build_extended_network(diamond_network())
+    return GradientAlgorithm(ext, GradientConfig(eta=0.05, max_iterations=3000)).run().solution
+
+
+class TestTokenBucket:
+    def test_initial_burst_available(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0)
+        assert bucket.offer(5.0, elapsed=0.0) == pytest.approx(5.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=10.0)
+        bucket.offer(10.0, elapsed=0.0)  # drain
+        assert bucket.offer(100.0, elapsed=3.0) == pytest.approx(6.0)
+
+    def test_tokens_capped_at_burst(self):
+        bucket = TokenBucket(rate=1.0, burst=4.0)
+        bucket.offer(0.0, elapsed=1000.0)
+        assert bucket.offer(100.0, elapsed=0.0) == pytest.approx(4.0)
+
+    def test_reset(self):
+        bucket = TokenBucket(rate=1.0, burst=4.0)
+        bucket.offer(4.0, elapsed=0.0)
+        bucket.reset()
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ModelError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ModelError):
+            TokenBucket(rate=1.0, burst=0.0)
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        with pytest.raises(ModelError):
+            bucket.offer(-1.0, 0.0)
+
+    @given(
+        rate=st.floats(0.1, 10.0),
+        burst=st.floats(0.5, 20.0),
+        volumes=st.lists(st.floats(0.0, 50.0), min_size=1, max_size=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_long_run_rate_bound(self, rate, burst, volumes):
+        """Admitted volume over T slots never exceeds rate*T + burst."""
+        bucket = TokenBucket(rate=rate, burst=burst)
+        admitted = sum(bucket.offer(v, elapsed=1.0) for v in volumes)
+        assert admitted <= rate * len(volumes) + burst + 1e-6
+
+    @given(volumes=st.lists(st.floats(0.0, 5.0), min_size=1, max_size=30))
+    @settings(max_examples=100, deadline=None)
+    def test_never_admits_more_than_offered(self, volumes):
+        bucket = TokenBucket(rate=2.0, burst=3.0)
+        for v in volumes:
+            assert bucket.offer(v, elapsed=1.0) <= v + 1e-12
+
+
+class TestAdmissionController:
+    def test_rates_come_from_solution(self, diamond_solution):
+        controller = AdmissionController(diamond_solution)
+        assert controller.rate("diamond") == pytest.approx(
+            float(diamond_solution.admitted[0])
+        )
+
+    def test_unknown_commodity(self, diamond_solution):
+        controller = AdmissionController(diamond_solution)
+        with pytest.raises(ModelError):
+            controller.rate("nope")
+        with pytest.raises(ModelError):
+            controller.shape("nope", [1.0])
+
+    def test_constant_trace_at_rate_passes(self, diamond_solution):
+        controller = AdmissionController(diamond_solution, burst_seconds=2.0)
+        rate = controller.rate("diamond")
+        trace = np.full(50, rate)
+        shaped = controller.shape("diamond", trace)
+        assert shaped.admitted_fraction == pytest.approx(1.0)
+        np.testing.assert_allclose(shaped.shed, 0.0, atol=1e-9)
+
+    def test_overload_is_shed(self, diamond_solution):
+        controller = AdmissionController(diamond_solution, burst_seconds=1.0)
+        rate = controller.rate("diamond")
+        trace = np.full(50, 2.0 * rate)
+        shaped = controller.shape("diamond", trace)
+        assert shaped.admitted_fraction == pytest.approx(0.51, abs=0.03)
+        assert shaped.shed.sum() > 0
+
+    def test_bursty_trace_respects_sustained_rate(self, diamond_solution):
+        controller = AdmissionController(diamond_solution, burst_seconds=1.0)
+        rate = controller.rate("diamond")
+        trace = onoff_trace(peak_rate=5 * rate, num_slots=200, seed=1)
+        shaped = controller.shape("diamond", trace)
+        assert shaped.admitted.sum() <= rate * 200 + rate + 1e-6
+        np.testing.assert_allclose(
+            shaped.admitted + shaped.shed, shaped.offered, atol=1e-9
+        )
+
+    def test_shape_all(self, diamond_solution):
+        controller = AdmissionController(diamond_solution)
+        traces = {"diamond": poisson_trace(3.0, 20, seed=2)}
+        shaped = controller.shape_all(traces)
+        assert set(shaped) == {"diamond"}
+
+    def test_report_mentions_rates(self, diamond_solution):
+        controller = AdmissionController(diamond_solution)
+        report = controller.report()
+        assert "diamond" in report
+        assert "%" in report
+
+    def test_rejects_bad_args(self, diamond_solution):
+        with pytest.raises(ModelError):
+            AdmissionController(diamond_solution, burst_seconds=0.0)
+        controller = AdmissionController(diamond_solution)
+        with pytest.raises(ModelError):
+            controller.shape("diamond", [1.0], slot_length=0.0)
+        with pytest.raises(ModelError):
+            controller.shape("diamond", [-1.0])

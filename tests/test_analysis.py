@@ -1,0 +1,142 @@
+"""Tests for the analysis toolkit (convergence metrics, tables, ASCII plots)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_extended_network
+from repro.analysis import (
+    AlgorithmTrajectory,
+    TableBuilder,
+    ascii_plot,
+    figure4_table,
+    is_effectively_monotone,
+    iterations_to_fraction,
+    solution_table,
+    summarize_convergence,
+)
+from repro.core.optimal import solve_lp
+from repro.workloads import diamond_network
+
+
+class TestIterationsToFraction:
+    def test_finds_first_crossing(self):
+        iters = [0, 10, 20, 30]
+        utils = [0.0, 5.0, 9.6, 9.9]
+        assert iterations_to_fraction(iters, utils, reference=10.0, fraction=0.95) == 20
+
+    def test_none_when_never_reached(self):
+        assert (
+            iterations_to_fraction([0, 10], [1.0, 2.0], reference=10.0, fraction=0.95)
+            is None
+        )
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            iterations_to_fraction([0], [1.0], reference=0.0, fraction=0.9)
+        with pytest.raises(ValueError):
+            iterations_to_fraction([0], [1.0], reference=1.0, fraction=1.5)
+        with pytest.raises(ValueError):
+            iterations_to_fraction([0, 1], [1.0], reference=1.0, fraction=0.9)
+
+
+class TestMonotone:
+    def test_increasing(self):
+        assert is_effectively_monotone([1, 2, 3], "increasing")
+        assert not is_effectively_monotone([1, 3, 2], "increasing", slack=1e-9)
+
+    def test_decreasing(self):
+        assert is_effectively_monotone([3, 2, 1], "decreasing")
+
+    def test_slack_tolerates_wobble(self):
+        assert is_effectively_monotone([1.0, 2.0, 1.9999999], "increasing")
+
+    def test_unknown_direction(self):
+        with pytest.raises(ValueError):
+            is_effectively_monotone([1, 2], "sideways")
+
+
+class TestSummaries:
+    def test_summary_fields(self):
+        iters = np.arange(0, 101, 10)
+        utils = np.linspace(0, 10, 11)
+        summary = summarize_convergence(iters, utils, reference=10.0)
+        assert summary.final_fraction == pytest.approx(1.0)
+        assert summary.iterations_to_90 == 90
+        assert summary.monotone
+
+    def test_row_renders(self):
+        summary = summarize_convergence([0, 1], [0.0, 9.0], reference=10.0)
+        row = summary.row("algo")
+        assert "algo" in row
+        assert "90.0%" in row
+
+
+class TestTables:
+    def test_table_builder(self):
+        table = TableBuilder(["a", "b"])
+        table.add_row("x", 1.23456)
+        text = table.render(title="T")
+        assert "T" in text and "1.235" in text
+
+    def test_table_builder_arity_check(self):
+        table = TableBuilder(["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_figure4_table(self):
+        text = figure4_table(
+            10.0,
+            [
+                AlgorithmTrajectory("gradient", [0, 1, 2], [0.0, 9.0, 9.9]),
+                AlgorithmTrajectory("back-pressure", [0, 100], [0.0, 9.6]),
+            ],
+        )
+        assert "gradient" in text
+        assert "back-pressure" in text
+        assert "optimal (LP)" in text
+
+    def test_solution_table(self):
+        ext = build_extended_network(diamond_network())
+        lp = solve_lp(ext)
+        text = solution_table([lp, lp], ["lp-a", "lp-b"])
+        assert "diamond" in text
+        assert "TOTAL UTILITY" in text
+        with pytest.raises(ValueError):
+            solution_table([lp], ["a", "b"])
+        with pytest.raises(ValueError):
+            solution_table([], [])
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        text = ascii_plot(
+            [("linear", [1, 10, 100], [0.0, 5.0, 10.0])],
+            log_x=True,
+            title="demo",
+        )
+        assert "demo" in text
+        assert "legend" in text
+        assert "*" in text
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot(
+            [
+                ("one", [0, 1], [0.0, 1.0]),
+                ("two", [0, 1], [1.0, 0.0]),
+            ]
+        )
+        assert "*" in text and "+" in text
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+        with pytest.raises(ValueError):
+            ascii_plot([("s", [1], [1.0])], width=4)
+        with pytest.raises(ValueError):
+            ascii_plot([("s", [], [])])
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([("flat", [0, 1, 2], [5.0, 5.0, 5.0])])
+        assert "flat" in text

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.io import load_network, save_network
+from repro.workloads import figure1_network
+
+
+@pytest.fixture()
+def model_path(tmp_path):
+    path = tmp_path / "model.json"
+    save_network(figure1_network(), path)
+    return path
+
+
+class TestGenerate:
+    def test_generates_valid_model(self, tmp_path, capsys):
+        out = tmp_path / "net.json"
+        code = main(
+            [
+                "generate",
+                "--nodes",
+                "16",
+                "--commodities",
+                "2",
+                "--seed",
+                "5",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        network = load_network(out)
+        assert network.physical.num_nodes == 16
+        assert network.num_commodities == 2
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_prints_summary(self, model_path, capsys):
+        assert main(["info", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "StreamNetwork" in out
+        assert "S1" in out and "S2" in out
+
+
+class TestSolve:
+    def test_gradient_solve_writes_solution(self, model_path, tmp_path, capsys):
+        out = tmp_path / "sol.json"
+        code = main(
+            [
+                "solve",
+                str(model_path),
+                "--method",
+                "gradient",
+                "--max-iterations",
+                "800",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["method"] == "gradient"
+        assert data["utility"] > 0
+        assert "total utility" in capsys.readouterr().out
+
+    def test_optimal_solve(self, model_path, capsys):
+        assert main(["solve", str(model_path), "--method", "optimal"]) == 0
+        assert "lp" in capsys.readouterr().out
+
+    def test_backpressure_solve(self, model_path, capsys):
+        code = main(
+            [
+                "solve",
+                str(model_path),
+                "--method",
+                "backpressure",
+                "--max-iterations",
+                "3000",
+            ]
+        )
+        assert code == 0
+        assert "backpressure" in capsys.readouterr().out
+
+    def test_adaptive_flag(self, model_path, capsys):
+        code = main(
+            [
+                "solve",
+                str(model_path),
+                "--adaptive",
+                "--max-iterations",
+                "500",
+            ]
+        )
+        assert code == 0
+
+    def test_unknown_method_rejected(self, model_path):
+        with pytest.raises(SystemExit):
+            main(["solve", str(model_path), "--method", "magic"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,125 @@
+"""Tests for the fluid data-plane simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AdmissionController, build_extended_network
+from repro.core.gradient import GradientAlgorithm, GradientConfig
+from repro.dataplane import FluidDataPlane
+from repro.exceptions import SimulationError
+from repro.workloads import (
+    constant_trace,
+    diamond_network,
+    figure1_network,
+    onoff_trace,
+    tandem_network,
+)
+
+
+@pytest.fixture(scope="module")
+def diamond_solved():
+    ext = build_extended_network(diamond_network())
+    result = GradientAlgorithm(
+        ext, GradientConfig(eta=0.05, max_iterations=3000)
+    ).run()
+    return ext, result.solution
+
+
+class TestMechanics:
+    def test_rejects_bad_inputs(self, diamond_solved):
+        ext, solution = diamond_solved
+        plane = FluidDataPlane(ext, solution.routing)
+        with pytest.raises(SimulationError):
+            plane.run({})
+        with pytest.raises(SimulationError):
+            plane.run({"nope": [1.0]})
+        with pytest.raises(SimulationError):
+            plane.run({"diamond": [-1.0]})
+        with pytest.raises(SimulationError):
+            FluidDataPlane(ext, solution.routing, slot_length=0.0)
+
+    def test_mass_conservation(self, diamond_solved):
+        """Offered = delivered + still queued (source units; no losses)."""
+        ext, solution = diamond_solved
+        plane = FluidDataPlane(ext, solution.routing)
+        rate = float(solution.admitted[0])
+        result = plane.run({"diamond": constant_trace(rate, 400)})
+        # convert the remaining queue back to source units via potentials
+        queued_src = 0.0
+        # (single commodity: inspect final per-commodity queue directly)
+        # final_queue_by_commodity is in node-local units; on the diamond all
+        # potentials are 1, so the comparison is exact.
+        queued_src = result.final_queue_by_commodity["diamond"]
+        assert result.delivered["diamond"] + queued_src == pytest.approx(
+            result.offered["diamond"], rel=1e-9
+        )
+
+    def test_gain_scaling_delivery_in_source_units(self):
+        """A 2x-expanding tandem must deliver in *source* units, not wire units."""
+        net = tandem_network(depth=3, gain=2.0, node_capacity=1000.0,
+                             bandwidth=1000.0, max_rate=10.0)
+        ext = build_extended_network(net)
+        result = GradientAlgorithm(
+            ext, GradientConfig(eta=0.05, max_iterations=2000)
+        ).run()
+        plane = FluidDataPlane(ext, result.solution.routing)
+        outcome = plane.run({"tandem": constant_trace(5.0, 200)})
+        assert outcome.delivered_rates["tandem"] == pytest.approx(5.0, rel=0.05)
+
+
+class TestStability:
+    def test_stable_at_admitted_rates(self, diamond_solved):
+        """The paper's criterion: injecting at a_j keeps queues bounded and
+        delivers at a_j in the long run."""
+        ext, solution = diamond_solved
+        plane = FluidDataPlane(ext, solution.routing)
+        rate = float(solution.admitted[0])
+        result = plane.run({"diamond": constant_trace(rate, 2000)})
+        assert result.is_stable()
+        assert result.delivered_rates["diamond"] == pytest.approx(rate, rel=0.02)
+
+    def test_unstable_beyond_capacity(self, diamond_solved):
+        """Injecting well beyond the admitted rate grows queues linearly."""
+        ext, solution = diamond_solved
+        plane = FluidDataPlane(ext, solution.routing)
+        rate = float(solution.admitted[0])
+        result = plane.run({"diamond": constant_trace(2.5 * rate, 2000)})
+        assert not result.is_stable()
+        assert result.queue_growth_rate() > 0
+        # delivery saturates near the admitted rate despite the overload
+        assert result.delivered_rates["diamond"] <= 1.2 * rate
+
+    def test_admission_controller_restores_stability(self, diamond_solved):
+        """Shaped bursty traffic through the token bucket stays stable even
+        when its raw peak far exceeds the admitted rate."""
+        ext, solution = diamond_solved
+        controller = AdmissionController(solution, burst_seconds=2.0)
+        rate = float(solution.admitted[0])
+        raw = onoff_trace(peak_rate=4.0 * rate, num_slots=2000,
+                          on_probability=0.5, seed=3)
+        shaped = controller.shape("diamond", raw)
+        plane = FluidDataPlane(ext, solution.routing)
+        unshaped_run = plane.run({"diamond": raw})
+        shaped_run = plane.run({"diamond": shaped.admitted})
+        assert shaped_run.is_stable(growth_ratio_tolerance=0.2)
+        assert shaped_run.queue_growth_rate() < unshaped_run.queue_growth_rate()
+
+    def test_multicommodity_stability(self):
+        net = figure1_network()
+        ext = build_extended_network(net)
+        solution = GradientAlgorithm(
+            ext, GradientConfig(eta=0.05, max_iterations=3000)
+        ).run().solution
+        plane = FluidDataPlane(ext, solution.routing)
+        traces = {
+            view.name: constant_trace(float(solution.admitted[view.index]), 1500)
+            for view in ext.commodities
+        }
+        result = plane.run(traces)
+        assert result.is_stable()
+        for view in ext.commodities:
+            assert result.delivered_rates[view.name] == pytest.approx(
+                float(solution.admitted[view.index]), rel=0.03
+            )

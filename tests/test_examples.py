@@ -1,0 +1,46 @@
+"""Smoke tests: the runnable examples must actually run.
+
+Only the fast examples execute here (the full Figure-4 reproduction and the
+incident-timeline example take minutes and run as benchmarks/examples
+instead); each is checked for a zero exit code and its headline output.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = {
+    "quickstart.py": "TOTAL UTILITY",
+    "distributed_protocol.py": "sequential rounds",
+    "capacity_planning.py": "marginal value",
+    "financial_pipeline.py": "expands",
+}
+
+
+@pytest.mark.parametrize("script,needle", sorted(FAST_EXAMPLES.items()))
+def test_example_runs(script, needle):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout
+
+
+def test_all_examples_exist_and_are_documented():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 5
+    for script in scripts:
+        text = (EXAMPLES_DIR / script).read_text()
+        assert text.startswith("#!/usr/bin/env python3"), script
+        assert '"""' in text, f"{script} lacks a docstring"
+        assert "def main()" in text, f"{script} lacks a main()"

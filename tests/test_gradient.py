@@ -1,0 +1,224 @@
+"""Tests for the distributed gradient algorithm (synchronous engine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_extended_network
+from repro.core.gradient import (
+    GradientAlgorithm,
+    GradientConfig,
+    apply_gamma_at_node,
+)
+from repro.core.marginals import CostModel, evaluate_cost
+from repro.core.optimal import arc_flows_to_routing, solve_lp
+from repro.core.routing import (
+    initial_routing,
+    feasibility_report,
+    solve_traffic,
+    validate_routing,
+)
+from repro.core.utility import LogUtility
+from repro.workloads import diamond_network, figure1_network
+
+
+class TestConfig:
+    def test_rejects_nonpositive_eta(self):
+        with pytest.raises(ValueError):
+            GradientConfig(eta=0.0)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            GradientConfig(max_iterations=0)
+
+    def test_defaults_match_paper(self):
+        config = GradientConfig()
+        assert config.eta == pytest.approx(0.04)
+        assert config.cost_model.eps == pytest.approx(0.2)
+
+
+class TestGammaKernel:
+    def test_preserves_simplex(self, rng):
+        phi = np.zeros(6)
+        out = [0, 1, 2]
+        phi[out] = [0.5, 0.3, 0.2]
+        delta = np.array([3.0, 1.0, 2.0, 0, 0, 0])
+        apply_gamma_at_node(phi, 10.0, out, delta, None, eta=0.1, traffic_tol=1e-12)
+        assert phi[out].sum() == pytest.approx(1.0)
+        assert np.all(phi >= 0)
+
+    def test_moves_mass_to_cheapest_edge(self):
+        phi = np.zeros(3)
+        out = [0, 1, 2]
+        phi[out] = [1 / 3, 1 / 3, 1 / 3]
+        delta = np.array([5.0, 1.0, 3.0])
+        apply_gamma_at_node(phi, 1.0, out, delta, None, eta=0.01, traffic_tol=1e-12)
+        assert phi[1] > 1 / 3
+        assert phi[0] < 1 / 3
+        assert phi[2] < 1 / 3
+        # more expensive edges shrink more (eq. (16): Delta proportional to a)
+        assert (1 / 3 - phi[0]) > (1 / 3 - phi[2])
+
+    def test_reduction_capped_at_current_fraction(self):
+        phi = np.zeros(2)
+        out = [0, 1]
+        phi[out] = [0.1, 0.9]
+        delta = np.array([100.0, 1.0])
+        apply_gamma_at_node(phi, 0.01, out, delta, None, eta=10.0, traffic_tol=1e-12)
+        assert phi[0] == pytest.approx(0.0)
+        assert phi[1] == pytest.approx(1.0)
+
+    def test_idle_node_jumps_to_best(self):
+        phi = np.zeros(3)
+        out = [0, 1, 2]
+        phi[out] = [0.6, 0.2, 0.2]
+        delta = np.array([5.0, 1.0, 3.0])
+        apply_gamma_at_node(phi, 0.0, out, delta, None, eta=0.04, traffic_tol=1e-12)
+        np.testing.assert_allclose(phi[out], [0.0, 1.0, 0.0])
+
+    def test_blocked_edges_stay_zero(self):
+        phi = np.zeros(3)
+        out = [0, 1, 2]
+        phi[out] = [0.5, 0.5, 0.0]
+        delta = np.array([5.0, 4.0, 0.1])  # blocked edge is 'cheapest'
+        blocked = np.array([False, False, True])
+        apply_gamma_at_node(phi, 1.0, out, delta, blocked, eta=0.1, traffic_tol=1e-12)
+        assert phi[2] == 0.0
+        assert phi[1] > 0.5  # mass went to the best *eligible* edge
+
+    def test_small_eta_small_steps(self):
+        phi_small = np.zeros(2)
+        phi_big = np.zeros(2)
+        out = [0, 1]
+        for p in (phi_small, phi_big):
+            p[out] = [0.5, 0.5]
+        delta = np.array([2.0, 1.0])
+        apply_gamma_at_node(phi_small, 1.0, out, delta, None, 0.01, 1e-12)
+        apply_gamma_at_node(phi_big, 1.0, out, delta, None, 0.2, 1e-12)
+        assert (0.5 - phi_small[0]) < (0.5 - phi_big[0])
+
+
+class TestConvergence:
+    def test_diamond_reaches_penalized_optimum(self, diamond_ext):
+        result = GradientAlgorithm(
+            diamond_ext, GradientConfig(eta=0.05, max_iterations=4000)
+        ).run()
+        lp = solve_lp(diamond_ext)
+        assert result.converged
+        # the barrier keeps headroom: expect >= 93% of the true optimum
+        assert result.solution.utility >= 0.93 * lp.utility
+        assert result.solution.utility <= lp.utility + 1e-6
+
+    def test_unconstrained_instance_hits_exact_optimum(self, figure1_ext):
+        result = GradientAlgorithm(
+            figure1_ext, GradientConfig(eta=0.05, max_iterations=4000)
+        ).run()
+        lp = solve_lp(figure1_ext)
+        # figure-1 capacities don't bind; full admission is optimal
+        assert result.solution.utility == pytest.approx(lp.utility, rel=1e-6)
+        np.testing.assert_allclose(result.solution.admitted, figure1_ext.lam, rtol=1e-6)
+
+    def test_cost_decreases_monotonically_for_small_eta(self, diamond_ext):
+        config = GradientConfig(eta=0.01, max_iterations=600)
+        result = GradientAlgorithm(diamond_ext, config).run()
+        costs = result.costs
+        assert np.all(np.diff(costs) <= 1e-9 * np.maximum(1.0, np.abs(costs[:-1])))
+
+    def test_final_routing_is_valid_and_feasible(self, figure1_ext):
+        result = GradientAlgorithm(
+            figure1_ext, GradientConfig(eta=0.05, max_iterations=3000)
+        ).run()
+        validate_routing(figure1_ext, result.solution.routing)
+        report = feasibility_report(figure1_ext, result.solution.routing)
+        assert report.feasible
+
+    def test_admission_never_exceeds_offered(self, figure1_ext):
+        result = GradientAlgorithm(
+            figure1_ext, GradientConfig(eta=0.05, max_iterations=500)
+        ).run()
+        for record in result.history:
+            assert np.all(record.admitted <= figure1_ext.lam * (1 + 1e-9))
+            assert np.all(record.admitted >= -1e-9)
+
+    def test_utility_trajectory_reaches_plateau_monotonically(self, diamond_ext):
+        result = GradientAlgorithm(
+            diamond_ext, GradientConfig(eta=0.02, max_iterations=3000)
+        ).run()
+        utilities = result.utilities
+        # paper: "the total throughput improves monotonically"
+        slack = 1e-6 * max(1.0, float(np.max(utilities)))
+        assert np.all(np.diff(utilities) >= -slack)
+
+    def test_concave_utility_instance(self):
+        net = diamond_network(utility=LogUtility(weight=10.0))
+        ext = build_extended_network(net)
+        result = GradientAlgorithm(
+            ext, GradientConfig(eta=0.05, max_iterations=4000)
+        ).run()
+        assert result.solution.utility > 0
+        assert result.solution.admitted[0] > 0
+
+    def test_warm_start_from_lp_stays_near_optimal(self, diamond_ext):
+        lp = solve_lp(diamond_ext, capacity_scale=0.9)
+        routing = arc_flows_to_routing(diamond_ext, lp.extras["arc_flows"])
+        validate_routing(diamond_ext, routing)
+        config = GradientConfig(eta=0.02, max_iterations=800)
+        result = GradientAlgorithm(diamond_ext, config).run(routing=routing)
+        assert result.solution.utility >= 0.95 * lp.utility
+
+    def test_without_blocking_still_converges_on_dags(self, diamond_ext):
+        """Commodity subgraphs are DAGs, so blocking is a safety net, not a
+        correctness requirement here."""
+        result = GradientAlgorithm(
+            diamond_ext,
+            GradientConfig(eta=0.05, max_iterations=4000, use_blocking=False),
+        ).run()
+        lp = solve_lp(diamond_ext)
+        assert result.solution.utility >= 0.93 * lp.utility
+
+
+class TestRunMechanics:
+    def test_history_records_and_callback(self, diamond_ext):
+        seen = []
+        config = GradientConfig(eta=0.05, max_iterations=50, record_every=10)
+        GradientAlgorithm(diamond_ext, config).run(
+            callback=lambda it, rec: seen.append(it)
+        )
+        assert seen[0] == 0
+        assert all(it % 10 == 0 or it == 50 for it in seen)
+
+    def test_step_returns_new_object(self, diamond_ext):
+        algo = GradientAlgorithm(diamond_ext, GradientConfig(eta=0.05))
+        routing = initial_routing(diamond_ext)
+        stepped = algo.step(routing)
+        assert stepped is not routing
+        assert not np.array_equal(stepped.phi, routing.phi)
+
+    def test_first_step_admits_traffic(self, diamond_ext):
+        """From the shed-all start, the first Gamma application must start
+        admitting (marginal utility 1 beats idle-network congestion ~0)."""
+        algo = GradientAlgorithm(diamond_ext, GradientConfig(eta=0.05))
+        stepped = algo.step(initial_routing(diamond_ext))
+        view = diamond_ext.commodities[0]
+        assert stepped.phi[0, view.input_edge] > 0
+
+    def test_run_respects_max_iterations(self, diamond_ext):
+        config = GradientConfig(eta=1e-6, max_iterations=7, tolerance=0.0, patience=10**9)
+        result = GradientAlgorithm(diamond_ext, config).run()
+        assert result.iterations == 7
+        assert not result.converged
+
+    def test_invalid_start_rejected(self, diamond_ext):
+        from repro.core.routing import RoutingState
+        from repro.exceptions import RoutingError
+
+        bad = RoutingState(np.zeros_like(initial_routing(diamond_ext).phi))
+        with pytest.raises(RoutingError):
+            GradientAlgorithm(diamond_ext).run(routing=bad)
+
+    def test_optimality_helper(self, diamond_ext):
+        algo = GradientAlgorithm(diamond_ext, GradientConfig(eta=0.05, max_iterations=3000))
+        result = algo.run()
+        report = algo.optimality(result.solution.routing)
+        assert report.sufficient_residual < 1e-3

@@ -1,0 +1,193 @@
+"""End-to-end integration tests across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    BackpressureAlgorithm,
+    BackpressureConfig,
+    GradientAlgorithm,
+    GradientConfig,
+    build_extended_network,
+    solve,
+    solve_lp,
+)
+from repro.analysis import iterations_to_fraction
+from repro.core.routing import (
+    feasibility_report,
+    initial_routing,
+    uniform_routing,
+    validate_routing,
+)
+from repro.workloads import (
+    diamond_network,
+    figure1_network,
+    financial_pipeline_network,
+    paper_figure4_network,
+    random_stream_network,
+    sensor_fusion_network,
+)
+from repro.workloads.random_network import RandomNetworkSpec
+
+
+class TestSolveFacade:
+    def test_gradient_method(self):
+        solution = solve(figure1_network())
+        assert solution.method == "gradient"
+        assert solution.utility > 0
+        assert solution.routing is not None
+
+    def test_optimal_method(self):
+        solution = solve(figure1_network(), method="optimal")
+        assert solution.method == "lp"
+        np.testing.assert_allclose(solution.admitted, [15.0, 12.0], rtol=1e-8)
+
+    def test_backpressure_method(self):
+        config = None  # default config is heavy; diamond converges fast anyway
+        solution = solve(diamond_network(), method="backpressure")
+        assert solution.method == "backpressure"
+        assert solution.utility > 0
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            solve(diamond_network(), method="magic")
+
+    def test_custom_config(self):
+        config = GradientConfig(eta=0.1, max_iterations=200)
+        solution = solve(diamond_network(), config=config)
+        assert solution.iterations <= 200
+
+
+class TestGradientVsOptimal:
+    """The algorithm's fixed point must track the true optimum across
+    instances (up to the barrier's deliberate headroom)."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_small_random_instances(self, seed):
+        spec = RandomNetworkSpec(
+            num_nodes=12,
+            num_commodities=2,
+            depth_range=(3, 3),
+            layer_width_range=(2, 2),
+        )
+        ext = build_extended_network(random_stream_network(spec, seed=seed))
+        lp = solve_lp(ext)
+        result = GradientAlgorithm(
+            ext, GradientConfig(eta=0.04, max_iterations=8000)
+        ).run()
+        assert result.solution.utility >= 0.90 * lp.utility
+        assert result.solution.utility <= lp.utility * (1 + 1e-9)
+
+    @pytest.mark.parametrize(
+        "factory", [sensor_fusion_network, financial_pipeline_network]
+    )
+    def test_domain_scenarios(self, factory):
+        net = factory()
+        ext = build_extended_network(net)
+        from repro.core.optimal import solve_optimal
+
+        optimum = solve_optimal(ext)
+        result = GradientAlgorithm(
+            ext, GradientConfig(eta=0.03, max_iterations=8000)
+        ).run()
+        assert result.solution.utility >= 0.85 * optimum.utility
+        report = feasibility_report(ext, result.solution.routing)
+        assert report.feasible
+
+
+class TestFigure4Shape:
+    """The headline result: gradient reaches ~95% of optimal around 10^3
+    iterations on the 40-node, 3-commodity instance with eta=0.04, eps=0.2."""
+
+    def test_gradient_converges_like_the_paper(self, figure4_ext):
+        lp = solve_lp(figure4_ext)
+        result = GradientAlgorithm(
+            figure4_ext,
+            GradientConfig(eta=0.04, max_iterations=2500, record_every=10),
+        ).run()
+        hit95 = iterations_to_fraction(
+            result.recorded_iterations, result.utilities, lp.utility, 0.95
+        )
+        assert hit95 is not None
+        assert 100 <= hit95 <= 2500  # paper: ~1000; exact value is instance-specific
+
+    def test_gradient_final_capacity_feasible(self, figure4_ext):
+        result = GradientAlgorithm(
+            figure4_ext, GradientConfig(eta=0.04, max_iterations=1500)
+        ).run()
+        report = feasibility_report(figure4_ext, result.solution.routing)
+        assert report.feasible
+        assert report.max_utilization <= 1.0 + 1e-9
+
+
+class TestRoutingInvariantsUnderGamma:
+    @given(seed=st.integers(0, 1000), steps=st.integers(1, 15))
+    @settings(max_examples=25, deadline=None)
+    def test_gamma_preserves_routing_validity(self, seed, steps):
+        ext = build_extended_network(figure1_network())
+        rng = np.random.default_rng(seed)
+        routing = uniform_routing(ext)
+        for view in ext.commodities:
+            j = view.index
+            for node in view.node_indices:
+                if node == view.sink:
+                    continue
+                out = ext.commodity_out_edges[j][node]
+                if not out:
+                    continue
+                weights = rng.random(len(out)) + 1e-3
+                routing.phi[j, out] = weights / weights.sum()
+        algo = GradientAlgorithm(ext, GradientConfig(eta=0.05))
+        for __ in range(steps):
+            routing = algo.step(routing)
+            validate_routing(ext, routing)
+
+    @given(eta=st.floats(0.001, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_any_reasonable_eta_keeps_cost_finite(self, eta):
+        ext = build_extended_network(diamond_network())
+        result = GradientAlgorithm(
+            ext, GradientConfig(eta=eta, max_iterations=150)
+        ).run()
+        assert np.all(np.isfinite(result.costs))
+
+
+class TestCrossMethodConsistency:
+    def test_all_methods_agree_on_uncongested_instance(self):
+        net = figure1_network()
+        lp = solve(net, method="optimal")
+        gradient = solve(net, config=GradientConfig(eta=0.05, max_iterations=4000))
+        assert gradient.utility == pytest.approx(lp.utility, rel=1e-4)
+
+        ext = build_extended_network(net)
+        bp = BackpressureAlgorithm(
+            ext,
+            BackpressureConfig(max_iterations=40000, record_every=2000,
+                               buffer_cap=400.0),
+        ).run()
+        assert bp.utility >= 0.9 * lp.utility
+
+    def test_admission_priorities_follow_weights(self):
+        """Doubling one commodity's utility weight must not decrease its
+        admitted share at the optimum."""
+        from repro.core.utility import LinearUtility
+
+        spec_lo = RandomNetworkSpec(
+            num_nodes=12, num_commodities=2, depth_range=(3, 3),
+            layer_width_range=(2, 2),
+            utility_factory=lambda j: LinearUtility(1.0),
+        )
+        spec_hi = RandomNetworkSpec(
+            num_nodes=12, num_commodities=2, depth_range=(3, 3),
+            layer_width_range=(2, 2),
+            utility_factory=lambda j: LinearUtility(5.0 if j == 0 else 1.0),
+        )
+        ext_lo = build_extended_network(random_stream_network(spec_lo, seed=5))
+        ext_hi = build_extended_network(random_stream_network(spec_hi, seed=5))
+        a_lo = solve_lp(ext_lo).admitted
+        a_hi = solve_lp(ext_hi).admitted
+        assert a_hi[0] >= a_lo[0] - 1e-6

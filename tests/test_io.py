@@ -1,0 +1,161 @@
+"""Tests for JSON model/solution serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import build_extended_network, solve_lp
+from repro.core.utility import (
+    AlphaFairUtility,
+    CappedLinearUtility,
+    LinearUtility,
+    LogUtility,
+    SqrtUtility,
+)
+from repro.exceptions import ModelError
+from repro.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+    save_solution,
+    solution_to_dict,
+    utility_from_spec,
+    utility_to_spec,
+)
+from repro.workloads import (
+    diamond_network,
+    figure1_network,
+    financial_pipeline_network,
+    paper_figure4_network,
+    sensor_fusion_network,
+)
+
+ALL_NETWORK_FACTORIES = [
+    diamond_network,
+    figure1_network,
+    sensor_fusion_network,
+    financial_pipeline_network,
+]
+
+
+class TestUtilitySpecs:
+    @pytest.mark.parametrize(
+        "utility",
+        [
+            LinearUtility(weight=2.0),
+            LogUtility(weight=3.0, offset=0.5),
+            AlphaFairUtility(alpha=1.5, weight=2.0, offset=1.0),
+            SqrtUtility(weight=4.0, offset=2.0),
+            CappedLinearUtility(cap=8.0, weight=5.0, softness=0.2),
+        ],
+        ids=lambda u: type(u).__name__,
+    )
+    def test_roundtrip(self, utility):
+        restored = utility_from_spec(utility_to_spec(utility))
+        assert type(restored) is type(utility)
+        grid = np.linspace(0.0, 20.0, 7)
+        np.testing.assert_allclose(restored.value(grid), utility.value(grid))
+        np.testing.assert_allclose(
+            restored.derivative(grid), utility.derivative(grid)
+        )
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ModelError):
+            utility_from_spec({"type": "mystery"})
+
+    def test_custom_class_rejected(self):
+        class Custom(LinearUtility):
+            pass
+
+        # subclass serialises as linear (duck compatible), so use a truly
+        # foreign object instead
+        class Foreign:
+            pass
+
+        with pytest.raises(ModelError):
+            utility_to_spec(Foreign())  # type: ignore[arg-type]
+
+
+class TestNetworkRoundtrip:
+    @pytest.mark.parametrize(
+        "factory", ALL_NETWORK_FACTORIES, ids=lambda f: f.__name__
+    )
+    def test_roundtrip_preserves_structure(self, factory):
+        original = factory()
+        restored = network_from_dict(network_to_dict(original))
+        assert restored.physical.num_nodes == original.physical.num_nodes
+        assert restored.physical.num_links == original.physical.num_links
+        assert restored.num_commodities == original.num_commodities
+        for a, b in zip(original.commodities, restored.commodities):
+            assert a.name == b.name
+            assert a.edges == b.edges
+            assert a.max_rate == pytest.approx(b.max_rate)
+            assert a.potentials == pytest.approx(b.potentials)
+            assert a.costs == pytest.approx(b.costs)
+
+    def test_roundtrip_preserves_optimum(self):
+        original = paper_figure4_network(seed=4)
+        restored = network_from_dict(network_to_dict(original))
+        lp_a = solve_lp(build_extended_network(original))
+        lp_b = solve_lp(build_extended_network(restored))
+        assert lp_a.utility == pytest.approx(lp_b.utility, rel=1e-9)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "model.json"
+        save_network(figure1_network(), path)
+        restored = load_network(path)
+        assert restored.num_commodities == 2
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+
+    def test_version_check(self):
+        data = network_to_dict(diamond_network())
+        data["format_version"] = 99
+        with pytest.raises(ModelError, match="format_version"):
+            network_from_dict(data)
+
+    def test_missing_capacity_rejected(self):
+        data = network_to_dict(diamond_network())
+        del data["nodes"][0]["capacity"]
+        with pytest.raises(ModelError, match="capacity"):
+            network_from_dict(data)
+
+    def test_unknown_kind_rejected(self):
+        data = network_to_dict(diamond_network())
+        data["nodes"][0]["kind"] = "quantum"
+        with pytest.raises(ModelError, match="kind"):
+            network_from_dict(data)
+
+
+class TestSolutionExport:
+    def test_solution_dict_fields(self, tmp_path):
+        ext = build_extended_network(diamond_network())
+        from repro.core.gradient import GradientAlgorithm, GradientConfig
+
+        solution = GradientAlgorithm(
+            ext, GradientConfig(eta=0.05, max_iterations=1500)
+        ).run().solution
+        data = solution_to_dict(solution)
+        assert data["method"] == "gradient"
+        assert data["feasible"] is True
+        assert data["admitted"]["diamond"] > 0
+        assert data["admitted"]["diamond"] + data["shed"]["diamond"] == (
+            pytest.approx(30.0)
+        )
+        assert any(rate > 0 for rate in data["link_flows"].values())
+
+        path = tmp_path / "solution.json"
+        save_solution(solution, path)
+        assert json.loads(path.read_text())["utility"] == pytest.approx(
+            solution.utility
+        )
+
+    def test_lp_solution_export(self):
+        ext = build_extended_network(diamond_network())
+        data = solution_to_dict(solve_lp(ext))
+        assert data["method"] == "lp"
+        assert data["feasible"] is None  # LP solutions carry no routing state

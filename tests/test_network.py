@@ -1,0 +1,176 @@
+"""Unit tests for the physical-network model."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.network import Link, Node, NodeKind, PhysicalNetwork
+from repro.exceptions import ModelError, ValidationError
+from repro.workloads import figure1_network
+
+
+class TestNode:
+    def test_processing_node_requires_positive_capacity(self):
+        with pytest.raises(ValidationError):
+            Node("a", NodeKind.PROCESSING, 0.0)
+
+    def test_sink_capacity_must_be_infinite(self):
+        with pytest.raises(ValidationError):
+            Node("a", NodeKind.SINK, 5.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            Node("", NodeKind.PROCESSING, 1.0)
+
+    def test_is_sink(self):
+        assert Node("d", NodeKind.SINK, float("inf")).is_sink
+        assert not Node("p", NodeKind.PROCESSING, 1.0).is_sink
+
+
+class TestLink:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValidationError):
+            Link("a", "a", 1.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValidationError):
+            Link("a", "b", 0.0)
+
+    def test_key(self):
+        assert Link("a", "b", 1.0).key == ("a", "b")
+
+
+class TestPhysicalNetwork:
+    def make_small(self):
+        net = PhysicalNetwork()
+        net.add_server("a", 10.0)
+        net.add_server("b", 20.0)
+        net.add_sink("d")
+        net.add_link("a", "b", 5.0)
+        net.add_link("b", "d", 5.0)
+        return net
+
+    def test_counts(self):
+        net = self.make_small()
+        assert net.num_nodes == 3
+        assert net.num_links == 2
+
+    def test_duplicate_node_rejected(self):
+        net = self.make_small()
+        with pytest.raises(ModelError):
+            net.add_server("a", 1.0)
+
+    def test_duplicate_link_rejected(self):
+        net = self.make_small()
+        with pytest.raises(ModelError):
+            net.add_link("a", "b", 1.0)
+
+    def test_link_endpoints_must_exist(self):
+        net = self.make_small()
+        with pytest.raises(ModelError):
+            net.add_link("a", "zzz", 1.0)
+
+    def test_sink_cannot_originate_links(self):
+        net = self.make_small()
+        with pytest.raises(ModelError):
+            net.add_link("d", "a", 1.0)
+
+    def test_validate_accepts_connected(self):
+        self.make_small().validate()
+
+    def test_validate_rejects_disconnected(self):
+        net = self.make_small()
+        net.add_server("lonely", 1.0)
+        with pytest.raises(ValidationError):
+            net.validate()
+
+    def test_validate_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            PhysicalNetwork().validate()
+
+    def test_accessors(self):
+        net = self.make_small()
+        assert net.node("a").capacity == 10.0
+        assert net.link("a", "b").bandwidth == 5.0
+        assert net.has_link("a", "b")
+        assert not net.has_link("b", "a")
+        with pytest.raises(ModelError):
+            net.node("zzz")
+        with pytest.raises(ModelError):
+            net.link("b", "a")
+
+    def test_in_out_links(self):
+        net = self.make_small()
+        assert [l.head for l in net.out_links("a")] == ["b"]
+        assert [l.tail for l in net.in_links("d")] == ["b"]
+
+    def test_processing_nodes_and_sinks(self):
+        net = self.make_small()
+        assert {n.name for n in net.processing_nodes()} == {"a", "b"}
+        assert {n.name for n in net.sinks()} == {"d"}
+
+    def test_to_networkx(self):
+        graph = self.make_small().to_networkx()
+        assert isinstance(graph, nx.DiGraph)
+        assert graph.number_of_nodes() == 3
+        assert graph["a"]["b"]["bandwidth"] == 5.0
+        assert graph.nodes["d"]["kind"] == "sink"
+
+    def test_copy_is_independent(self):
+        net = self.make_small()
+        clone = net.copy()
+        clone.add_server("extra", 1.0)
+        assert "extra" not in net.nodes
+
+
+class TestFigure1Example:
+    """The paper's Figure-1 system: per-stream subgraphs must be DAGs with
+    the placement-induced structure."""
+
+    def test_shape(self):
+        net = figure1_network()
+        assert net.physical.num_nodes == 10  # 8 servers + 2 sinks
+        assert net.num_commodities == 2
+
+    def test_per_stream_subgraphs_are_dags(self):
+        net = figure1_network()
+        for commodity in net.commodities:
+            graph = commodity.subgraph()
+            assert nx.is_directed_acyclic_graph(graph)
+
+    def test_stream1_uses_its_lattice(self):
+        s1 = figure1_network().commodity("S1")
+        assert ("server1", "server2") in s1.edges
+        assert ("server3", "server5") in s1.edges
+        assert ("server6", "sink1") in s1.edges
+        # S2-only hops are not available to S1
+        assert ("server7", "server3") not in s1.edges
+
+    def test_stream2_chain(self):
+        s2 = figure1_network().commodity("S2")
+        assert s2.edges == [
+            ("server7", "server3"),
+            ("server3", "server5"),
+            ("server5", "server8"),
+            ("server8", "sink2"),
+        ]
+
+    def test_shared_servers(self):
+        net = figure1_network()
+        s1_nodes = set(net.commodity("S1").nodes)
+        s2_nodes = set(net.commodity("S2").nodes)
+        assert {"server3", "server5"} <= (s1_nodes & s2_nodes)
+
+    def test_gains_follow_task_chain(self):
+        s1 = figure1_network().commodity("S1")
+        # server1 runs task A (gain 0.8) regardless of the downstream choice
+        assert s1.gain("server1", "server2") == pytest.approx(0.8)
+        assert s1.gain("server1", "server3") == pytest.approx(0.8)
+        # layer B -> C edges carry task B's gain
+        assert s1.gain("server2", "server4") == pytest.approx(0.6)
+
+    def test_costs_follow_task_chain(self):
+        s1 = figure1_network().commodity("S1")
+        assert s1.cost("server1", "server2") == pytest.approx(1.0)
+        assert s1.cost("server2", "server5") == pytest.approx(2.0)

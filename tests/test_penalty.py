@@ -1,0 +1,156 @@
+"""Unit and property tests for the penalty (barrier) library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.penalty import (
+    InverseBarrier,
+    LogBarrier,
+    QuadraticOverload,
+    check_convex_increasing,
+)
+from repro.exceptions import ValidationError
+
+BARRIERS = [InverseBarrier(), LogBarrier()]
+ALL_PENALTIES = BARRIERS + [QuadraticOverload()]
+
+
+class TestInverseBarrier:
+    """The paper's canonical ``D(z) = 1/(C - z)`` (shifted by -1/C)."""
+
+    def test_value_matches_formula(self):
+        barrier = InverseBarrier()
+        capacity = 10.0
+        z = 5.0
+        assert barrier.value(z, capacity) == pytest.approx(1.0 / 5.0 - 1.0 / 10.0)
+
+    def test_derivative_matches_formula(self):
+        barrier = InverseBarrier()
+        assert barrier.derivative(5.0, 10.0) == pytest.approx(1.0 / 25.0)
+
+    def test_zero_at_idle(self):
+        barrier = InverseBarrier()
+        assert barrier.value(0.0, 10.0) == pytest.approx(0.0)
+
+    def test_blows_up_near_capacity(self):
+        barrier = InverseBarrier(switch_fraction=0.999)
+        assert barrier.value(9.98, 10.0) > 10.0
+
+    def test_infinite_capacity_gives_zero(self):
+        barrier = InverseBarrier()
+        assert barrier.value(1e9, np.inf) == 0.0
+        assert barrier.derivative(1e9, np.inf) == 0.0
+
+    def test_safeguarded_tail_is_finite_past_capacity(self):
+        barrier = InverseBarrier()
+        assert np.isfinite(barrier.value(15.0, 10.0))
+        assert np.isfinite(barrier.derivative(15.0, 10.0))
+        assert barrier.value(15.0, 10.0) > barrier.value(9.0, 10.0)
+
+    def test_tail_is_c1_at_switch(self):
+        barrier = InverseBarrier(switch_fraction=0.9)
+        capacity = 10.0
+        zs = 9.0
+        eps = 1e-7
+        v_below = barrier.value(zs - eps, capacity)
+        v_above = barrier.value(zs + eps, capacity)
+        assert v_above == pytest.approx(v_below, rel=1e-4)
+        d_below = barrier.derivative(zs - eps, capacity)
+        d_above = barrier.derivative(zs + eps, capacity)
+        assert d_above == pytest.approx(d_below, rel=1e-4)
+
+    def test_rejects_bad_switch_fraction(self):
+        with pytest.raises(ValidationError):
+            InverseBarrier(switch_fraction=1.5)
+
+
+class TestLogBarrier:
+    def test_value_matches_formula(self):
+        barrier = LogBarrier()
+        assert barrier.value(5.0, 10.0) == pytest.approx(-np.log(0.5))
+
+    def test_derivative_matches_formula(self):
+        barrier = LogBarrier()
+        assert barrier.derivative(5.0, 10.0) == pytest.approx(0.2)
+
+
+class TestQuadraticOverload:
+    def test_zero_below_threshold(self):
+        penalty = QuadraticOverload(threshold_fraction=0.9)
+        assert penalty.value(8.0, 10.0) == 0.0
+        assert penalty.derivative(8.0, 10.0) == 0.0
+
+    def test_quadratic_above_threshold(self):
+        penalty = QuadraticOverload(threshold_fraction=0.5)
+        # over = 7 - 5 = 2; value = 4 / 10
+        assert penalty.value(7.0, 10.0) == pytest.approx(0.4)
+        assert penalty.derivative(7.0, 10.0) == pytest.approx(0.4)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValidationError):
+            QuadraticOverload(threshold_fraction=0.0)
+
+
+class TestVectorisation:
+    @pytest.mark.parametrize("penalty", ALL_PENALTIES, ids=lambda p: repr(p))
+    def test_broadcasts_usage_and_capacity(self, penalty):
+        usage = np.array([0.0, 2.0, 5.0, 9.0])
+        capacity = np.array([10.0, 10.0, np.inf, 10.0])
+        values = penalty.value(usage, capacity)
+        derivs = penalty.derivative(usage, capacity)
+        assert values.shape == usage.shape
+        assert derivs.shape == usage.shape
+        assert values[2] == 0.0 and derivs[2] == 0.0
+
+    @pytest.mark.parametrize("penalty", ALL_PENALTIES, ids=lambda p: repr(p))
+    def test_scalar_in_scalar_out(self, penalty):
+        assert isinstance(penalty.value(1.0, 10.0), float)
+        assert isinstance(penalty.derivative(1.0, 10.0), float)
+
+
+class TestConvexityChecker:
+    @pytest.mark.parametrize("penalty", ALL_PENALTIES, ids=lambda p: repr(p))
+    def test_accepts_library_penalties(self, penalty):
+        check_convex_increasing(penalty, capacity=10.0)
+
+    def test_rejects_concave(self):
+        class Concave(QuadraticOverload):
+            def value(self, usage, capacity):
+                return np.sqrt(np.maximum(np.asarray(usage, dtype=float), 0.0))
+
+            def derivative(self, usage, capacity):
+                u = np.maximum(np.asarray(usage, dtype=float), 1e-9)
+                return 0.5 / np.sqrt(u)
+
+        with pytest.raises(ValidationError):
+            check_convex_increasing(Concave())
+
+
+class TestBarrierProperties:
+    @given(
+        capacity=st.floats(0.5, 1000.0),
+        fractions=st.lists(st.floats(0.0, 1.5), min_size=2, max_size=20),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_inverse_barrier_monotone_in_usage(self, capacity, fractions):
+        barrier = InverseBarrier()
+        usages = np.sort(np.asarray(fractions)) * capacity
+        values = barrier.value(usages, capacity)
+        assert np.all(np.diff(np.atleast_1d(values)) >= -1e-10)
+
+    @given(
+        capacity=st.floats(0.5, 1000.0),
+        fraction=st.floats(0.0, 1.4),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_derivative_matches_finite_difference(self, capacity, fraction):
+        barrier = InverseBarrier()
+        z = fraction * capacity
+        h = 1e-6 * max(capacity, 1.0)
+        fd = (barrier.value(z + h, capacity) - barrier.value(z, capacity)) / h
+        mid = barrier.derivative(z + h / 2, capacity)
+        assert fd == pytest.approx(mid, rel=1e-3, abs=1e-9)

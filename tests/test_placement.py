@@ -1,0 +1,166 @@
+"""Tests for the operator-placement module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commodity import StreamNetwork, Task
+from repro.core.network import PhysicalNetwork
+from repro.core.utility import LogUtility
+from repro.exceptions import ModelError
+from repro.placement import feasible_hosts, place_task_chain
+from repro.workloads import figure1_network
+
+
+def grid_physical():
+    """source -> {mid_a (big), mid_b (small)} -> {late_a, late_b} -> sink."""
+    net = PhysicalNetwork()
+    net.add_server("src", 50.0)
+    net.add_server("mid_a", 40.0)
+    net.add_server("mid_b", 5.0)
+    net.add_server("late_a", 30.0)
+    net.add_server("late_b", 30.0)
+    net.add_sink("sink")
+    for tail, heads in {
+        "src": ["mid_a", "mid_b"],
+        "mid_a": ["late_a", "late_b"],
+        "mid_b": ["late_a"],
+        "late_a": ["sink"],
+        "late_b": ["sink"],
+    }.items():
+        for head in heads:
+            net.add_link(tail, head, bandwidth=40.0)
+    return net
+
+
+class TestFeasibleHosts:
+    def test_layers_follow_reachability(self):
+        layers = feasible_hosts(grid_physical(), 3, "src", "sink")
+        assert layers[0] == {"src"}
+        assert layers[1] == {"mid_a", "mid_b"}
+        assert layers[2] == {"late_a", "late_b"}
+
+    def test_backward_pruning(self):
+        net = grid_physical()
+        net.add_server("dead_end", 100.0)
+        net.add_link("src", "dead_end", 40.0)  # no route onward to sink
+        layers = feasible_hosts(net, 3, "src", "sink")
+        assert "dead_end" not in layers[1]
+
+    def test_unembeddable_chain_rejected(self):
+        with pytest.raises(ModelError, match="no feasible host"):
+            feasible_hosts(grid_physical(), 5, "src", "sink")
+
+    def test_validates_endpoints(self):
+        net = grid_physical()
+        with pytest.raises(ModelError):
+            feasible_hosts(net, 2, "sink", "sink")
+        with pytest.raises(ModelError):
+            feasible_hosts(net, 2, "src", "mid_a")
+
+
+class TestPlaceTaskChain:
+    TASKS = [
+        Task("ingest", cost=1.0, gain=1.0),
+        Task("process", cost=2.0, gain=0.5),
+        Task("emit", cost=1.0, gain=1.0),
+    ]
+
+    def empty_background(self):
+        return StreamNetwork(physical=grid_physical())
+
+    def test_places_and_scores(self):
+        result = place_task_chain(
+            self.empty_background(),
+            self.TASKS,
+            source="src",
+            sink="sink",
+            max_rate=30.0,
+        )
+        assert result.placement["ingest"] == ["src"]
+        assert result.score > 0
+        assert result.marginal_utility == pytest.approx(result.score)
+        # commodity is realisable and rooted correctly
+        assert result.commodity.source == "src"
+        assert result.commodity.sink == "sink"
+
+    def test_prefers_big_server(self):
+        """With max_replicas=1, the middle task must pick mid_a (capacity 40)
+        over mid_b (capacity 5): both the greedy seed and the LP agree."""
+        result = place_task_chain(
+            self.empty_background(),
+            self.TASKS,
+            source="src",
+            sink="sink",
+            max_rate=30.0,
+            max_replicas=1,
+        )
+        assert result.placement["process"] == ["mid_a"]
+
+    def test_replication_improves_or_ties(self):
+        single = place_task_chain(
+            self.empty_background(), self.TASKS, "src", "sink", 30.0, max_replicas=1
+        )
+        double = place_task_chain(
+            self.empty_background(), self.TASKS, "src", "sink", 30.0, max_replicas=2
+        )
+        assert double.score >= single.score - 1e-9
+
+    def test_respects_existing_load(self):
+        """Placing onto a loaded system must account for the background
+        commodities: total score includes them and never regresses."""
+        background = figure1_network()
+        # each commodity needs its own sink (paper, Section 2)
+        background.physical.add_sink("sink3")
+        background.physical.add_link("server8", "sink3", bandwidth=20.0)
+        tasks = [Task(f"t{i}", cost=1.0, gain=1.0) for i in range(1, 5)]
+        # a new stream alongside S2's chain: server7 -> 3 -> 5 -> 8 -> sink3
+        result = place_task_chain(
+            background,
+            tasks,
+            source="server7",
+            sink="sink3",
+            max_rate=5.0,
+            name="extra",
+        )
+        assert result.baseline > 0
+        assert result.score >= result.baseline - 1e-9
+        names = [c.name for c in background.commodities]
+        assert "extra" not in names  # background not mutated
+
+    def test_score_trace_monotone(self):
+        result = place_task_chain(
+            self.empty_background(), self.TASKS, "src", "sink", 30.0
+        )
+        trace = result.score_trace
+        assert all(b >= a - 1e-9 for a, b in zip(trace, trace[1:]))
+
+    def test_rejects_bad_arguments(self):
+        background = self.empty_background()
+        with pytest.raises(ModelError):
+            place_task_chain(background, [], "src", "sink", 30.0)
+        with pytest.raises(ModelError):
+            place_task_chain(
+                background, self.TASKS, "src", "sink", 30.0, max_replicas=0
+            )
+        with pytest.raises(ModelError):
+            place_task_chain(
+                background,
+                self.TASKS,
+                "src",
+                "sink",
+                30.0,
+                utility=LogUtility(),
+            )
+
+    def test_rejects_duplicate_name(self):
+        background = figure1_network()
+        with pytest.raises(ModelError, match="taken"):
+            place_task_chain(
+                background,
+                [Task(f"t{i}", 1.0, 1.0) for i in range(1, 5)],
+                source="server7",
+                sink="sink2",
+                max_rate=5.0,
+                name="S1",
+            )

@@ -1,0 +1,190 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the structural invariants the whole system rests on, checked
+over randomised routings, workloads, and events rather than hand-picked
+cases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import build_extended_network
+from repro.core.gradient import GradientAlgorithm, GradientConfig
+from repro.core.marginals import CostModel, evaluate_cost
+from repro.core.routing import (
+    RoutingState,
+    admitted_rates,
+    commodity_edge_flows,
+    feasibility_report,
+    initial_routing,
+    resource_usage,
+    solve_traffic,
+    uniform_routing,
+    validate_routing,
+)
+from repro.online import LinkFailure, NodeFailure, apply_event, emergency_shed, remap_routing
+from repro.workloads import diamond_network, figure1_network
+
+EXTS = {}
+
+
+def get_ext(name):
+    if name not in EXTS:
+        factory = {"diamond": diamond_network, "figure1": figure1_network}[name]
+        EXTS[name] = build_extended_network(factory())
+    return EXTS[name]
+
+
+def random_routing(ext, seed, interior=True):
+    rng = np.random.default_rng(seed)
+    routing = uniform_routing(ext)
+    for view in ext.commodities:
+        j = view.index
+        for node in view.node_indices:
+            if node == view.sink:
+                continue
+            out = ext.commodity_out_edges[j][node]
+            if not out:
+                continue
+            weights = rng.random(len(out)) + (0.05 if interior else 0.0)
+            if weights.sum() == 0:
+                weights[0] = 1.0
+            routing.phi[j, out] = weights / weights.sum()
+    validate_routing(ext, routing)
+    return routing
+
+
+class TestFlowConservation:
+    """Eq. (7): gain-aware conservation at every interior node, for any phi."""
+
+    @given(seed=st.integers(0, 10**6), name=st.sampled_from(["diamond", "figure1"]))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_holds(self, seed, name):
+        ext = get_ext(name)
+        routing = random_routing(ext, seed)
+        traffic = solve_traffic(ext, routing)
+        flows = commodity_edge_flows(ext, routing, traffic)
+        for view in ext.commodities:
+            j = view.index
+            for node in view.node_indices:
+                if node == view.sink:
+                    continue
+                outflow = sum(
+                    flows[j, e] for e in ext.commodity_out_edges[j][node]
+                )
+                inflow = sum(
+                    ext.gain[j, e] * flows[j, e]
+                    for e in ext.in_edges[node]
+                    if ext.allowed[j, e]
+                )
+                external = view.max_rate if node == view.dummy else 0.0
+                assert outflow == pytest.approx(inflow + external, abs=1e-9)
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_traffic_scales_linearly_with_phi_split(self, seed):
+        """Admitted rate equals lambda times the input fraction."""
+        ext = get_ext("figure1")
+        routing = random_routing(ext, seed)
+        admitted = admitted_rates(ext, routing)
+        for view in ext.commodities:
+            expected = view.max_rate * routing.phi[view.index, view.input_edge]
+            assert admitted[view.index] == pytest.approx(expected, abs=1e-9)
+
+
+class TestObjectiveIdentities:
+    @given(seed=st.integers(0, 10**6), eps=st.floats(0.01, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_utility_plus_loss_is_offered_value(self, seed, eps):
+        ext = get_ext("figure1")
+        routing = random_routing(ext, seed)
+        breakdown = evaluate_cost(ext, routing, CostModel(eps=eps))
+        offered = sum(
+            float(v.utility.value(v.max_rate)) for v in ext.commodities
+        )
+        assert breakdown.utility + breakdown.utility_loss == pytest.approx(
+            offered, rel=1e-9
+        )
+
+    @given(seed=st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_cost_nonnegative_and_finite(self, seed):
+        ext = get_ext("diamond")
+        routing = random_routing(ext, seed)
+        breakdown = evaluate_cost(ext, routing, CostModel(eps=0.2))
+        assert np.isfinite(breakdown.total)
+        assert breakdown.utility_loss >= -1e-9
+        assert breakdown.penalty >= -1e-9
+
+
+class TestGammaInvariants:
+    @given(seed=st.integers(0, 10**6), eta=st.floats(0.001, 0.3))
+    @settings(max_examples=40, deadline=None)
+    def test_step_preserves_validity_and_boundedness(self, seed, eta):
+        ext = get_ext("diamond")
+        algo = GradientAlgorithm(ext, GradientConfig(eta=eta))
+        routing = random_routing(ext, seed)
+        for __ in range(3):
+            routing = algo.step(routing)
+            validate_routing(ext, routing)
+            admitted = admitted_rates(ext, routing)
+            assert np.all(admitted <= ext.lam + 1e-9)
+            assert np.all(admitted >= -1e-9)
+
+
+class TestOnlineInvariants:
+    @given(
+        seed=st.integers(0, 10**6),
+        link_index=st.integers(0, 13),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_remap_after_any_single_link_failure_is_valid(self, seed, link_index):
+        network = figure1_network()
+        links = sorted(network.physical.links)
+        link = links[link_index % len(links)]
+        ext = get_ext("figure1")
+        routing = random_routing(ext, seed)
+        try:
+            rebuilt = apply_event(network, LinkFailure(at_iteration=1, link=link))
+        except Exception:
+            return  # event stranded everything; nothing to check
+        new_ext = build_extended_network(rebuilt.network, require_connected=False)
+        carried = remap_routing(ext, routing, new_ext)
+        validate_routing(new_ext, carried)
+
+    @given(seed=st.integers(0, 10**6), target=st.floats(0.3, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_emergency_shed_meets_any_target(self, seed, target):
+        ext = build_extended_network(
+            diamond_network(top_capacity=3.0, bottom_capacity=3.0,
+                            source_capacity=100.0, max_rate=30.0)
+        )
+        routing = random_routing(ext, seed)
+        shed = emergency_shed(ext, routing, utilization_target=target)
+        report = feasibility_report(ext, shed)
+        assert report.max_utilization <= target * (1 + 1e-6) + 1e-9
+        validate_routing(ext, shed)
+
+
+class TestUsageMonotonicity:
+    @given(seed=st.integers(0, 10**6), bump=st.floats(0.01, 0.5))
+    @settings(max_examples=30, deadline=None)
+    def test_admitting_more_never_reduces_usage(self, seed, bump):
+        """Shifting dummy mass from the difference link to the input link
+        weakly increases resource usage at every node."""
+        ext = get_ext("diamond")
+        routing = random_routing(ext, seed)
+        view = ext.commodities[0]
+        phi_in = routing.phi[0, view.input_edge]
+        room = 1.0 - phi_in
+        more = routing.copy()
+        more.phi[0, view.input_edge] = phi_in + bump * room
+        more.phi[0, view.difference_edge] = 1.0 - (phi_in + bump * room)
+        __, base_usage = resource_usage(ext, routing)
+        __, more_usage = resource_usage(ext, more)
+        finite = np.isfinite(ext.capacity)
+        assert np.all(more_usage[finite] >= base_usage[finite] - 1e-9)

@@ -1,0 +1,229 @@
+"""Tests for the message-passing simulation substrate and its equivalence to
+the synchronous engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_extended_network
+from repro.core.gradient import GradientAlgorithm, GradientConfig
+from repro.core.routing import initial_routing
+from repro.exceptions import ProtocolError, SimulationError
+from repro.simulation import (
+    DistributedGradientRun,
+    EventEngine,
+    MarginalCostMessage,
+    NodeAgent,
+)
+from repro.simulation.messages import ForecastMessage, RoutingSignalMessage
+from repro.workloads import (
+    diamond_network,
+    figure1_network,
+    sensor_fusion_network,
+    tandem_network,
+)
+
+
+class TestEventEngine:
+    class Echo:
+        def __init__(self):
+            self.seen = []
+
+        def on_message(self, message, engine):
+            self.seen.append((engine.now, message))
+
+    def test_delivery_order_is_deterministic(self):
+        engine = EventEngine()
+        echo = self.Echo()
+        engine.register(0, echo)
+        m1 = MarginalCostMessage(sender=1, commodity=0, value=1.0, tagged=False)
+        m2 = MarginalCostMessage(sender=2, commodity=0, value=2.0, tagged=False)
+        engine.send(0, m1, delay=2)
+        engine.send(0, m2, delay=1)
+        engine.run_until_idle()
+        assert [m.sender for __, m in echo.seen] == [2, 1]
+
+    def test_elapsed_ticks_reflect_chain_depth(self):
+        engine = EventEngine()
+
+        class Relay:
+            def __init__(self, node, limit):
+                self.node = node
+                self.limit = limit
+
+            def on_message(self, message, eng):
+                if self.node < self.limit:
+                    eng.send(self.node + 1, message)
+
+        for n in range(5):
+            engine.register(n, Relay(n, 4))
+        engine.send(0, MarginalCostMessage(sender=9, commodity=0, value=0, tagged=False))
+        elapsed = engine.run_until_idle()
+        assert elapsed == 5  # 5 hops at unit latency
+
+    def test_unknown_target_rejected(self):
+        engine = EventEngine()
+        with pytest.raises(SimulationError):
+            engine.send(3, MarginalCostMessage(sender=0, commodity=0, value=0, tagged=False))
+
+    def test_duplicate_registration_rejected(self):
+        engine = EventEngine()
+        echo = self.Echo()
+        engine.register(0, echo)
+        with pytest.raises(SimulationError):
+            engine.register(0, echo)
+
+    def test_reset_clock_requires_idle(self):
+        engine = EventEngine()
+        engine.register(0, self.Echo())
+        engine.send(0, MarginalCostMessage(sender=1, commodity=0, value=0, tagged=False))
+        with pytest.raises(SimulationError):
+            engine.reset_clock()
+        engine.run_until_idle()
+        engine.reset_clock()
+        assert engine.now == 0
+
+    def test_metrics_count_messages_and_bytes(self):
+        engine = EventEngine()
+        engine.register(0, self.Echo())
+        msg = MarginalCostMessage(sender=1, commodity=0, value=0.5, tagged=True)
+        engine.send(0, msg)
+        assert engine.metrics.messages_total == 1
+        assert engine.metrics.bytes_total == msg.size_bytes
+        assert engine.metrics.by_type["MarginalCostMessage"] == 1
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [diamond_network, figure1_network, sensor_fusion_network],
+    ids=["diamond", "figure1", "sensor-fusion"],
+)
+class TestEquivalenceWithSynchronousEngine:
+    def test_iterates_bit_identical(self, factory):
+        ext = build_extended_network(factory())
+        config = GradientConfig(eta=0.05)
+        sync = GradientAlgorithm(ext, config)
+        routing = initial_routing(ext)
+
+        dist = DistributedGradientRun(ext, config)
+        dist.load_routing(routing)
+        dist.forecast_phase()
+
+        current = routing.copy()
+        for __ in range(25):
+            current = sync.step(current)
+            dist.iterate(0)
+            distributed = dist.export_routing()
+            np.testing.assert_array_equal(current.phi, distributed.phi)
+
+
+class TestDistributedRun:
+    def test_run_matches_synchronous_full_run(self):
+        ext = build_extended_network(figure1_network())
+        config = GradientConfig(eta=0.05)
+        iterations = 40
+
+        sync = GradientAlgorithm(ext, config)
+        routing = initial_routing(ext)
+        for __ in range(iterations):
+            routing = sync.step(routing)
+
+        result = DistributedGradientRun(ext, config).run(iterations=iterations)
+        np.testing.assert_array_equal(result.solution.routing.phi, routing.phi)
+        assert result.iterations == iterations
+
+    def test_utilities_recorded(self):
+        ext = build_extended_network(diamond_network())
+        result = DistributedGradientRun(ext, GradientConfig(eta=0.05)).run(
+            iterations=20, record_every=5
+        )
+        assert len(result.utilities) == 4
+        assert result.utilities[-1] > 0
+
+    def test_rejects_zero_iterations(self):
+        ext = build_extended_network(diamond_network())
+        with pytest.raises(SimulationError):
+            DistributedGradientRun(ext).run(iterations=0)
+
+
+class TestComplexityScaling:
+    """Paper, Section 6: a gradient iteration takes O(L) message rounds."""
+
+    def test_rounds_grow_linearly_with_depth(self):
+        rounds = {}
+        for depth in (2, 4, 8):
+            ext = build_extended_network(tandem_network(depth))
+            run = DistributedGradientRun(ext, GradientConfig(eta=0.05))
+            run.load_routing(initial_routing(ext))
+            run.forecast_phase()
+            metrics = run.iterate(1)
+            marginal = next(p for p in metrics.phases if p.name == "marginal")
+            rounds[depth] = marginal.rounds
+        assert rounds[4] > rounds[2]
+        assert rounds[8] > rounds[4]
+        # linear growth: doubling the depth roughly doubles the wave depth
+        growth = (rounds[8] - rounds[4]) / (rounds[4] - rounds[2])
+        assert 1.5 <= growth <= 3.0
+
+    def test_update_phase_is_message_free(self):
+        ext = build_extended_network(diamond_network())
+        run = DistributedGradientRun(ext, GradientConfig(eta=0.05))
+        run.load_routing(initial_routing(ext))
+        run.forecast_phase()
+        metrics = run.iterate(1)
+        update = next(p for p in metrics.phases if p.name == "update")
+        assert update.messages == 0
+        assert update.rounds == 0
+
+    def test_message_counts_stable_across_iterations(self):
+        ext = build_extended_network(figure1_network())
+        run = DistributedGradientRun(ext, GradientConfig(eta=0.05))
+        run.load_routing(initial_routing(ext))
+        run.forecast_phase()
+        first = run.iterate(1).messages
+        for i in range(5):
+            last = run.iterate(2 + i).messages
+        # marginal-phase messages are topology-determined; forecast messages
+        # vary only with the number of active edges
+        assert last <= first * 1.5
+        assert last >= first * 0.5
+
+
+class TestProtocolErrors:
+    def test_agent_rejects_unknown_commodity(self):
+        ext = build_extended_network(diamond_network())
+        from repro.core.marginals import CostModel
+
+        agent = NodeAgent(ext, node=0, cost_model=CostModel(), eta=0.04,
+                          traffic_tol=1e-12)
+        engine = EventEngine()
+        with pytest.raises(ProtocolError):
+            agent.on_message(
+                MarginalCostMessage(sender=1, commodity=99, value=0.0, tagged=False),
+                engine,
+            )
+
+    def test_agent_rejects_non_neighbour_marginal(self):
+        ext = build_extended_network(diamond_network())
+        from repro.core.marginals import CostModel
+
+        view = ext.commodities[0]
+        agent = NodeAgent(ext, node=view.source, cost_model=CostModel(),
+                          eta=0.04, traffic_tol=1e-12)
+        engine = EventEngine()
+        with pytest.raises(ProtocolError):
+            agent.on_message(
+                MarginalCostMessage(
+                    sender=view.dummy, commodity=0, value=0.0, tagged=False
+                ),
+                engine,
+            )
+
+    def test_update_before_wave_completes_rejected(self):
+        ext = build_extended_network(diamond_network())
+        run = DistributedGradientRun(ext, GradientConfig(eta=0.05))
+        run.load_routing(initial_routing(ext))
+        run.forecast_phase()
+        with pytest.raises(ProtocolError):
+            run.update_phase()

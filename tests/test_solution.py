@@ -1,0 +1,103 @@
+"""Tests for the Solution object and build_solution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_extended_network
+from repro.core.gradient import GradientAlgorithm, GradientConfig
+from repro.core.marginals import CostModel
+from repro.core.routing import initial_routing, uniform_routing
+from repro.core.solution import build_solution
+from repro.workloads import diamond_network, figure1_network
+
+
+@pytest.fixture(scope="module")
+def solved():
+    ext = build_extended_network(figure1_network())
+    result = GradientAlgorithm(
+        ext, GradientConfig(eta=0.05, max_iterations=1500)
+    ).run()
+    return ext, result.solution
+
+
+class TestSolutionAccessors:
+    def test_admitted_by_name(self, solved):
+        ext, solution = solved
+        by_name = solution.admitted_by_name
+        assert set(by_name) == {"S1", "S2"}
+        np.testing.assert_allclose(
+            sorted(by_name.values()), sorted(solution.admitted)
+        )
+
+    def test_shed_complements_admitted(self, solved):
+        ext, solution = solved
+        for view in ext.commodities:
+            total = (
+                solution.admitted_by_name[view.name]
+                + solution.shed_by_name[view.name]
+            )
+            assert total == pytest.approx(view.max_rate)
+
+    def test_summary_contains_essentials(self, solved):
+        __, solution = solved
+        text = solution.summary()
+        assert "gradient" in text
+        assert "S1" in text and "S2" in text
+        assert "utilization" in text
+
+    def test_feasibility_report_present_with_routing(self, solved):
+        __, solution = solved
+        report = solution.feasibility()
+        assert report is not None
+        assert report.feasible
+
+    def test_link_flows_cover_used_links(self, solved):
+        ext, solution = solved
+        flows = solution.link_flows()
+        used = {e for c in ext.stream_network.commodities for e in c.edges}
+        assert set(flows) == used
+        assert all(rate >= 0 for rate in flows.values())
+
+
+class TestBuildSolution:
+    def test_extras_populated(self):
+        ext = build_extended_network(diamond_network())
+        routing = uniform_routing(ext)
+        solution = build_solution(ext, routing, CostModel(), method="test")
+        for key in ("edge_usage", "node_usage", "traffic", "utility_loss", "penalty"):
+            assert key in solution.extras
+        assert solution.extras["traffic"].shape == (
+            ext.num_commodities,
+            ext.num_nodes,
+        )
+
+    def test_extra_overrides_merge(self):
+        ext = build_extended_network(diamond_network())
+        solution = build_solution(
+            ext,
+            initial_routing(ext),
+            CostModel(),
+            method="test",
+            extras={"custom": 42},
+        )
+        assert solution.extras["custom"] == 42
+
+    def test_shed_everything_solution(self):
+        ext = build_extended_network(diamond_network())
+        solution = build_solution(
+            ext, initial_routing(ext), CostModel(), method="idle"
+        )
+        assert solution.utility == pytest.approx(0.0)
+        np.testing.assert_allclose(solution.admitted, 0.0, atol=1e-12)
+        view = ext.commodities[0]
+        assert solution.shed_by_name[view.name] == pytest.approx(view.max_rate)
+
+    def test_iterations_carried(self):
+        ext = build_extended_network(diamond_network())
+        solution = build_solution(
+            ext, initial_routing(ext), CostModel(), method="x", iterations=7
+        )
+        assert solution.iterations == 7
+        assert "7 iterations" in solution.summary()

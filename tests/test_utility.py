@@ -1,0 +1,230 @@
+"""Unit and property tests for the utility-function library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.utility import (
+    AlphaFairUtility,
+    CappedLinearUtility,
+    LinearUtility,
+    LogUtility,
+    SqrtUtility,
+    check_concave_increasing,
+)
+from repro.exceptions import ValidationError
+
+ALL_UTILITIES = [
+    LinearUtility(weight=2.5),
+    LogUtility(weight=3.0, offset=1.0),
+    AlphaFairUtility(alpha=0.5, weight=2.0),
+    AlphaFairUtility(alpha=1.0, weight=1.5),
+    AlphaFairUtility(alpha=2.0, weight=1.0, offset=1.0),
+    SqrtUtility(weight=4.0),
+    CappedLinearUtility(cap=10.0, weight=2.0),
+]
+
+
+class TestLinearUtility:
+    def test_value_is_weighted_rate(self):
+        u = LinearUtility(weight=3.0)
+        assert u.value(4.0) == pytest.approx(12.0)
+
+    def test_derivative_is_weight(self):
+        u = LinearUtility(weight=3.0)
+        assert u.derivative(100.0) == pytest.approx(3.0)
+
+    def test_vectorised(self):
+        u = LinearUtility(weight=2.0)
+        np.testing.assert_allclose(u.value(np.array([1.0, 2.0])), [2.0, 4.0])
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValidationError):
+            LinearUtility(weight=0.0)
+
+    def test_call_alias(self):
+        u = LinearUtility()
+        assert u(5.0) == u.value(5.0)
+
+
+class TestLogUtility:
+    def test_value(self):
+        u = LogUtility(weight=1.0, offset=1.0)
+        assert u.value(np.e - 1.0) == pytest.approx(1.0)
+
+    def test_derivative(self):
+        u = LogUtility(weight=2.0, offset=1.0)
+        assert u.derivative(1.0) == pytest.approx(1.0)
+
+    def test_finite_at_zero(self):
+        u = LogUtility()
+        assert np.isfinite(u.value(0.0))
+        assert np.isfinite(u.derivative(0.0))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            LogUtility(weight=-1.0)
+        with pytest.raises(ValidationError):
+            LogUtility(offset=0.0)
+
+
+class TestAlphaFair:
+    def test_alpha_zero_matches_linear(self):
+        u = AlphaFairUtility(alpha=0.0, weight=2.0, offset=0.0)
+        assert u.value(5.0) == pytest.approx(10.0)
+        assert u.derivative(5.0) == pytest.approx(2.0)
+
+    def test_alpha_one_delegates_to_log(self):
+        u = AlphaFairUtility(alpha=1.0, weight=2.0, offset=1.0)
+        log = LogUtility(weight=2.0, offset=1.0)
+        assert u.value(3.0) == pytest.approx(log.value(3.0))
+        assert u.derivative(3.0) == pytest.approx(log.derivative(3.0))
+
+    def test_alpha_two(self):
+        u = AlphaFairUtility(alpha=2.0, weight=1.0, offset=1.0)
+        # U(a) = -(1+a)^{-1}; U'(a) = (1+a)^{-2}
+        assert u.value(1.0) == pytest.approx(-0.5)
+        assert u.derivative(1.0) == pytest.approx(0.25)
+
+    def test_rejects_zero_offset_with_large_alpha(self):
+        with pytest.raises(ValidationError):
+            AlphaFairUtility(alpha=1.5, offset=0.0)
+
+
+class TestCappedLinear:
+    def test_below_cap_nearly_linear(self):
+        u = CappedLinearUtility(cap=10.0, weight=2.0, softness=0.05)
+        assert u.value(5.0) == pytest.approx(10.0, rel=1e-3)
+        assert u.derivative(5.0) == pytest.approx(2.0, rel=1e-3)
+
+    def test_above_cap_nearly_flat(self):
+        u = CappedLinearUtility(cap=10.0, weight=2.0, softness=0.05)
+        assert u.derivative(15.0) == pytest.approx(0.0, abs=1e-6)
+
+    def test_large_argument_stable(self):
+        u = CappedLinearUtility(cap=10.0)
+        assert np.isfinite(u.value(1e6))
+        assert np.isfinite(u.derivative(1e6))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            CappedLinearUtility(cap=-1.0)
+        with pytest.raises(ValidationError):
+            CappedLinearUtility(cap=1.0, softness=0.0)
+
+
+class TestLossSemantics:
+    """Eq. (1): Y(x) = U(lam) - U(lam - x)."""
+
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: repr(u))
+    def test_loss_zero_at_zero_shed(self, utility):
+        assert utility.loss(10.0, 0.0) == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: repr(u))
+    def test_loss_full_shed_equals_utility_span(self, utility):
+        lam = 8.0
+        expected = utility.value(lam) - utility.value(0.0)
+        assert utility.loss(lam, lam) == pytest.approx(float(expected))
+
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: repr(u))
+    def test_loss_derivative_matches_definition(self, utility):
+        lam, x = 10.0, 3.0
+        assert utility.loss_derivative(lam, x) == pytest.approx(
+            float(utility.derivative(lam - x))
+        )
+
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: repr(u))
+    def test_loss_is_convex_increasing_in_shed(self, utility):
+        lam = 12.0
+        xs = np.linspace(0.0, lam, 101)
+        losses = np.asarray(utility.loss(lam, xs), dtype=float)
+        assert np.all(np.diff(losses) >= -1e-9)
+        assert np.all(np.diff(np.diff(losses)) >= -1e-7)
+
+
+class TestConcavityChecker:
+    @pytest.mark.parametrize("utility", ALL_UTILITIES, ids=lambda u: repr(u))
+    def test_accepts_all_library_utilities(self, utility):
+        check_concave_increasing(utility, lo=0.0, hi=50.0)
+
+    def test_rejects_convex_function(self):
+        class Convex(LinearUtility):
+            def value(self, a):
+                return np.asarray(a, dtype=float) ** 2
+
+            def derivative(self, a):
+                return 2.0 * np.asarray(a, dtype=float)
+
+        with pytest.raises(ValidationError):
+            check_concave_increasing(Convex())
+
+    def test_rejects_decreasing_function(self):
+        class Decreasing(LinearUtility):
+            def value(self, a):
+                return -np.asarray(a, dtype=float)
+
+            def derivative(self, a):
+                return np.full_like(np.asarray(a, dtype=float), -1.0)
+
+        with pytest.raises(ValidationError):
+            check_concave_increasing(Decreasing())
+
+    def test_rejects_inconsistent_derivative(self):
+        class Lying(LinearUtility):
+            def derivative(self, a):
+                return np.full_like(np.asarray(a, dtype=float), 42.0)
+
+        with pytest.raises(ValidationError):
+            check_concave_increasing(Lying())
+
+
+@st.composite
+def utility_and_points(draw):
+    kind = draw(st.sampled_from(["linear", "log", "alpha", "sqrt", "capped"]))
+    weight = draw(st.floats(0.1, 10.0))
+    if kind == "linear":
+        utility = LinearUtility(weight)
+    elif kind == "log":
+        utility = LogUtility(weight, offset=draw(st.floats(0.1, 5.0)))
+    elif kind == "alpha":
+        utility = AlphaFairUtility(
+            alpha=draw(st.floats(0.0, 3.0)), weight=weight, offset=draw(st.floats(0.5, 5.0))
+        )
+    elif kind == "sqrt":
+        utility = SqrtUtility(weight, offset=draw(st.floats(0.1, 5.0)))
+    else:
+        utility = CappedLinearUtility(
+            cap=draw(st.floats(1.0, 50.0)), weight=weight, softness=draw(st.floats(0.05, 1.0))
+        )
+    a = draw(st.floats(0.0, 100.0))
+    b = draw(st.floats(0.0, 100.0))
+    return utility, min(a, b), max(a, b)
+
+
+class TestUtilityProperties:
+    @given(utility_and_points())
+    @settings(max_examples=150, deadline=None)
+    def test_monotone_increasing(self, case):
+        utility, lo, hi = case
+        assert float(utility.value(hi)) >= float(utility.value(lo)) - 1e-9
+
+    @given(utility_and_points())
+    @settings(max_examples=150, deadline=None)
+    def test_derivative_nonnegative_and_nonincreasing(self, case):
+        utility, lo, hi = case
+        d_lo = float(utility.derivative(lo))
+        d_hi = float(utility.derivative(hi))
+        assert d_lo >= -1e-12
+        assert d_hi <= d_lo + 1e-9
+
+    @given(utility_and_points())
+    @settings(max_examples=100, deadline=None)
+    def test_derivative_matches_finite_difference(self, case):
+        utility, lo, __ = case
+        h = 1e-5
+        fd = (float(utility.value(lo + h)) - float(utility.value(lo))) / h
+        mid = float(utility.derivative(lo + h / 2))
+        assert fd == pytest.approx(mid, rel=1e-2, abs=1e-6)

@@ -1,0 +1,197 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.commodity import validate_property1
+from repro.exceptions import ModelError
+from repro.workloads import (
+    constant_trace,
+    diamond_network,
+    financial_pipeline_network,
+    layered_network,
+    mmpp_trace,
+    onoff_trace,
+    paper_figure4_network,
+    poisson_trace,
+    random_stream_network,
+    sensor_fusion_network,
+    tandem_network,
+    trace_stats,
+)
+from repro.workloads.random_network import RandomNetworkSpec
+
+
+class TestRandomNetwork:
+    def test_deterministic_given_seed(self):
+        a = paper_figure4_network(seed=11)
+        b = paper_figure4_network(seed=11)
+        assert a.physical.num_links == b.physical.num_links
+        for ca, cb in zip(a.commodities, b.commodities):
+            assert ca.edges == cb.edges
+            assert ca.max_rate == cb.max_rate
+            assert ca.potentials == cb.potentials
+            assert ca.costs == cb.costs
+
+    def test_different_seeds_differ(self):
+        a = paper_figure4_network(seed=1)
+        b = paper_figure4_network(seed=2)
+        assert (
+            a.physical.num_links != b.physical.num_links
+            or a.commodities[0].edges != b.commodities[0].edges
+        )
+
+    def test_paper_parameters(self):
+        net = paper_figure4_network(seed=5)
+        assert net.physical.num_nodes == 40
+        assert net.num_commodities == 3
+        for node in net.physical.processing_nodes():
+            assert 1.0 <= node.capacity <= 100.0
+        for link in net.physical.links.values():
+            assert 1.0 <= link.bandwidth <= 100.0
+        for commodity in net.commodities:
+            for cost in commodity.costs.values():
+                assert 1.0 <= cost <= 5.0
+            # g potentials were drawn in [1, 10] then normalised by g_source;
+            # the *ratio spread* must stay within [1/10, 10]
+            for edge in commodity.edges:
+                assert 0.1 - 1e-9 <= commodity.gain(*edge) <= 10.0 + 1e-9
+
+    def test_validated_and_connected(self):
+        for seed in range(4):
+            net = paper_figure4_network(seed=seed)
+            net.validate()  # includes weak connectivity
+
+    def test_property1_holds_on_generated_commodities(self):
+        net = paper_figure4_network(seed=9)
+        for commodity in net.commodities:
+            gains = {e: commodity.gain(*e) for e in commodity.edges}
+            validate_property1(commodity.edges, gains)
+
+    def test_every_processing_node_used(self):
+        net = paper_figure4_network(seed=3)
+        used = set()
+        for commodity in net.commodities:
+            used.update(commodity.nodes)
+        for node in net.physical.processing_nodes():
+            assert node.name in used
+
+    def test_commodities_share_nodes(self):
+        net = paper_figure4_network(seed=3)
+        node_sets = [set(c.nodes) for c in net.commodities]
+        shared = set()
+        for i in range(len(node_sets)):
+            for k in range(i + 1, len(node_sets)):
+                shared |= node_sets[i] & node_sets[k]
+        assert shared  # resource coupling exists
+
+    def test_custom_spec(self):
+        spec = RandomNetworkSpec(
+            num_nodes=20, num_commodities=2, rate_range=(5.0, 5.0)
+        )
+        net = random_stream_network(spec, seed=0)
+        assert net.physical.num_nodes == 20
+        assert all(c.max_rate == pytest.approx(5.0) for c in net.commodities)
+
+    def test_rejects_too_small(self):
+        with pytest.raises(ModelError):
+            RandomNetworkSpec(num_nodes=5, num_commodities=3)
+
+
+class TestLayeredTopologies:
+    def test_tandem_structure(self):
+        net = tandem_network(depth=4)
+        commodity = net.commodities[0]
+        assert len(commodity.edges) == 4  # 3 inter-server hops + 1 to sink
+        graph = commodity.subgraph()
+        assert nx.dag_longest_path_length(graph) == 4
+
+    def test_tandem_gain_compounds(self):
+        net = tandem_network(depth=3, gain=2.0)
+        commodity = net.commodities[0]
+        product = 1.0
+        for edge in commodity.edges:
+            product *= commodity.gain(*edge)
+        assert product == pytest.approx(2.0**3)
+
+    def test_tandem_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            tandem_network(depth=0)
+
+    def test_layered_counts(self):
+        net = layered_network(depth=3, width=2)
+        # src + 3*2 servers + sink
+        assert net.physical.num_nodes == 8
+        commodity = net.commodities[0]
+        # src->layer0 (2) + layer0->layer1 (4) + layer1->layer2 (4) + ->sink (2)
+        assert len(commodity.edges) == 12
+
+    def test_diamond_requires_matching_gains(self):
+        with pytest.raises(ValueError):
+            diamond_network(gain_top=2.0, gain_bottom=1.0)
+
+
+class TestScenarios:
+    def test_sensor_fusion_valid(self):
+        net = sensor_fusion_network()
+        net.validate()
+        assert net.num_commodities == 3
+        # all commodities traverse the shared fusion node
+        for commodity in net.commodities:
+            assert "fusion" in commodity.nodes
+
+    def test_sensor_fusion_field_count_bounds(self):
+        with pytest.raises(ValueError):
+            sensor_fusion_network(num_fields=9)
+
+    def test_financial_pipeline_valid(self):
+        net = financial_pipeline_network()
+        net.validate()
+        ticker = net.commodity("ticker")
+        # decrypt expands the stream
+        assert ticker.gain("ingest_a", "decode0") == pytest.approx(1.6)
+
+
+class TestTraces:
+    def test_constant(self):
+        trace = constant_trace(3.0, 10)
+        np.testing.assert_allclose(trace, 3.0)
+
+    def test_poisson_mean(self):
+        trace = poisson_trace(5.0, 20000, seed=1)
+        assert trace.mean() == pytest.approx(5.0, rel=0.05)
+
+    def test_poisson_deterministic(self):
+        np.testing.assert_array_equal(
+            poisson_trace(5.0, 100, seed=7), poisson_trace(5.0, 100, seed=7)
+        )
+
+    def test_onoff_mean_rate(self):
+        trace = onoff_trace(10.0, 50000, on_probability=0.3, seed=2)
+        assert trace.mean() == pytest.approx(3.0, rel=0.1)
+        assert set(np.unique(trace)) <= {0.0, 10.0}
+
+    def test_mmpp_switches_states(self):
+        trace = mmpp_trace(num_slots=5000, seed=3)
+        assert trace.std() > 0
+
+    def test_trace_stats(self):
+        stats = trace_stats(np.array([0.0, 10.0, 0.0, 10.0]))
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.peak == pytest.approx(10.0)
+        assert stats.burstiness == pytest.approx(2.0)
+
+    def test_bad_args(self):
+        with pytest.raises(ModelError):
+            constant_trace(-1.0, 10)
+        with pytest.raises(ModelError):
+            poisson_trace(1.0, 0)
+        with pytest.raises(ModelError):
+            onoff_trace(1.0, 10, on_probability=1.5)
+        with pytest.raises(ModelError):
+            mmpp_trace(rates=np.array([]))
+        with pytest.raises(ModelError):
+            trace_stats(np.array([]))
