@@ -39,6 +39,7 @@ from repro.core import (
     GradientConfig,
     GradientResult,
     InverseBarrier,
+    IterationContext,
     LinearUtility,
     Link,
     LogBarrier,
@@ -85,6 +86,7 @@ __all__ = [
     "GradientConfig",
     "GradientResult",
     "InverseBarrier",
+    "IterationContext",
     "LinearUtility",
     "Link",
     "LogBarrier",

@@ -7,6 +7,7 @@ from repro.core.backpressure import (
     BackpressureResult,
 )
 from repro.core.commodity import Commodity, StreamNetwork, Task, validate_property1
+from repro.core.context import IterationContext, build_iteration_context
 from repro.core.gradient import GradientAlgorithm, GradientConfig, GradientResult
 from repro.core.marginals import CostModel, evaluate_cost, optimality_residual
 from repro.core.network import Link, Node, NodeKind, PhysicalNetwork
@@ -40,6 +41,8 @@ __all__ = [
     "StreamNetwork",
     "Task",
     "validate_property1",
+    "IterationContext",
+    "build_iteration_context",
     "GradientAlgorithm",
     "GradientConfig",
     "GradientResult",

@@ -33,24 +33,28 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.core.blocking import compute_blocked_sets
+from repro.core.blocking import (
+    compute_all_blocked_sets,
+    compute_blocked_sets_scalar,
+)
+from repro.core.context import IterationContext, build_iteration_context
 from repro.core.marginals import (
     CostModel,
     edge_marginals,
-    evaluate_cost,
     link_cost_derivative,
-    marginal_cost_to_destination,
+    marginal_cost_to_destination_scalar,
     optimality_residual,
 )
 from repro.core.routing import (
     RoutingState,
     initial_routing,
     resource_usage,
-    solve_traffic,
+    solve_traffic_scalar,
+    utilization_profile,
     validate_routing,
 )
 from repro.core.solution import Solution, build_solution
-from repro.core.transform import ExtendedNetwork
+from repro.core.transform import CommodityGammaPlan, ExtendedNetwork
 from repro.exceptions import ConvergenceError
 
 __all__ = [
@@ -59,6 +63,7 @@ __all__ = [
     "GradientResult",
     "GradientAlgorithm",
     "apply_gamma_at_node",
+    "apply_gamma_batch",
 ]
 
 
@@ -131,10 +136,130 @@ def apply_gamma_at_node(
     if moved > 0.0:
         phi_row[best_edge] += moved
 
-    # guard against drift over thousands of iterations
-    total = phi_row[out].sum()
-    if total > 0.0 and abs(total - 1.0) > 1e-12:
-        phi_row[out] /= total
+    # Guard against drift over thousands of iterations.  Only the *eligible*
+    # fractions may be rescaled: eq. (14) freezes blocked edges at their
+    # current (zero) value, so they must not absorb any of the correction.
+    free = 0.0
+    frozen = 0.0
+    for e in out:
+        if blocked is not None and blocked[e]:
+            frozen += phi_row[e]
+        else:
+            free += phi_row[e]
+    if free > 0.0 and abs((free + frozen) - 1.0) > 1e-12:
+        scale = (1.0 - frozen) / free
+        for e in eligible:
+            phi_row[e] *= scale
+
+
+def apply_gamma_batch(
+    phi_row: np.ndarray,
+    plan: CommodityGammaPlan,
+    traffic_row: np.ndarray,
+    delta: np.ndarray,
+    blocked: Optional[np.ndarray],
+    eta: float,
+    traffic_tol: float,
+) -> None:
+    """Eqs. (14)-(17) for *all* of a commodity's nodes in one vectorized pass.
+
+    Bit identical to calling :func:`apply_gamma_at_node` at each node of
+    ``plan`` (the sync/distributed equivalence tests pin this): every float
+    operation mirrors the scalar kernel's, and all per-node sums accumulate
+    left to right via a loop over the (small, padded) out-edge columns.
+    Nodes update disjoint out-edge sets, so batching over them is exact.
+
+    Parameters mirror :func:`apply_gamma_at_node`, with ``plan`` replacing
+    the per-node ``out`` list and ``traffic_row`` carrying ``t_i(j)`` for
+    every extended node.
+    """
+    if plan.nodes.size == 0:
+        return
+    edge_matrix = plan.edge_matrix
+    valid = plan.valid
+    num_nodes, width = edge_matrix.shape
+    rows = plan.rows
+
+    # padding cells (valid == False) gather garbage from index 0; every read
+    # below is masked by ``valid``/``eligible``/``apply`` before it matters,
+    # and the write-back only copies the valid cells out again
+    phi = phi_row[edge_matrix]
+    delta2d = delta[edge_matrix]
+    if blocked is None:
+        # every plan row is a branch node (>= 2 valid out-edges), so with no
+        # blocking nothing can make a row ineligible
+        eligible = valid
+        has_eligible = None
+    else:
+        eligible = valid & ~blocked[edge_matrix]
+        has_eligible = eligible.any(axis=1)
+        if not has_eligible.any():
+            return
+
+    # first eligible edge attaining the eligible minimum (scalar argmin order)
+    keyed = np.where(eligible, delta2d, np.inf)
+    best_col = np.argmin(keyed, axis=1)
+    ok = eligible[rows, best_col]
+    if not ok.all():
+        # a row whose eligible deltas are all inf (or with nothing eligible)
+        # can argmin to an ineligible column; snap to the first eligible one
+        best_col = np.where(ok, best_col, np.argmax(eligible, axis=1))
+    t_i = traffic_row[plan.nodes]
+    if has_eligible is None:
+        best_delta = keyed[rows, best_col]
+        idle = t_i <= traffic_tol
+        active = ~idle
+    else:
+        # rows with nothing eligible keep their fractions; zero their (unused)
+        # best delta so the subtraction below never forms inf - inf
+        best_delta = np.where(has_eligible, keyed[rows, best_col], 0.0)
+        idle = has_eligible & (t_i <= traffic_tol)
+        active = has_eligible & ~idle
+
+    if active.any():
+        t_safe = np.where(t_i > 0.0, t_i, 1.0)
+        a_2d = delta2d - best_delta[:, None]
+        reduction = np.minimum(phi, (eta * a_2d) / t_safe[:, None])
+        apply = (
+            active[:, None] & eligible & (phi != 0.0) & (reduction > 0.0)
+        )
+        apply[rows, best_col] = False  # the best edge only ever gains
+        reduction = np.where(apply, reduction, 0.0)
+        phi = phi - reduction  # x - 0.0 == x bitwise for the masked cells
+        moved = np.zeros(num_nodes, dtype=float)
+        for col in range(width):  # left-to-right, like the scalar accumulator
+            moved += reduction[:, col]
+        phi[rows, best_col] += moved  # already +0.0 on every inactive row
+
+        # eligible-only drift renormalization (scalar kernel's exact sums)
+        free = np.zeros(num_nodes, dtype=float)
+        phi_free = np.where(eligible, phi, 0.0)
+        for col in range(width):
+            free += phi_free[:, col]
+        if blocked is None:
+            # nothing is frozen: free + 0.0 == free and 1.0 - 0.0 == 1.0
+            # bitwise, so the frozen sums drop out of the scalar's formulas
+            total = free
+            numer = 1.0
+        else:
+            frozen = np.zeros(num_nodes, dtype=float)
+            phi_frozen = np.where(valid & ~eligible, phi, 0.0)
+            for col in range(width):
+                frozen += phi_frozen[:, col]
+            total = free + frozen
+            numer = 1.0 - frozen
+        need = active & (free > 0.0) & (np.abs(total - 1.0) > 1e-12)
+        if need.any():
+            scale = numer / np.where(free > 0.0, free, 1.0)
+            phi = np.where(
+                need[:, None] & eligible, phi * scale[:, None], phi
+            )
+
+    if idle.any():
+        phi[idle] = 0.0
+        phi[idle, best_col[idle]] = 1.0
+
+    phi_row[plan.targets] = phi[valid]
 
 
 @dataclass
@@ -234,31 +359,82 @@ class GradientAlgorithm:
         self.config = config or GradientConfig()
 
     # -- one application of Gamma ------------------------------------------------
+    def compute_context(self, routing: RoutingState) -> IterationContext:
+        """Solve the flow balance once and cache everything the iteration needs."""
+        return build_iteration_context(self.ext, routing, self.config.cost_model)
+
     def step(
-        self, routing: RoutingState, eta: Optional[float] = None
+        self,
+        routing: RoutingState,
+        eta: Optional[float] = None,
+        context: Optional[IterationContext] = None,
     ) -> RoutingState:
         """Apply the update map ``Gamma`` once and return the new routing.
 
         ``eta`` overrides the configured step scale for this application
-        (used by the adaptive-step run loop).
+        (used by the adaptive-step run loop).  ``context`` supplies the
+        precomputed :class:`IterationContext` of ``routing``; without it one
+        is built here (the run loop always passes the cached one, so each
+        iteration solves the flow balance exactly once).
         """
         ext = self.ext
         cfg = self.config
         if eta is None:
             eta = cfg.eta
-        phi = routing.phi
-        new_phi = phi.copy()
+        if context is None:
+            context = self.compute_context(routing)
+        new_phi = routing.phi.copy()
 
-        traffic = solve_traffic(ext, routing)
+        if cfg.use_blocking:
+            blocked = compute_all_blocked_sets(
+                ext, routing, context.traffic, context.dadr, context.delta, eta
+            ).reshape(-1)
+            if not blocked.any():
+                # an empty blocked set is indistinguishable from no blocking;
+                # let the kernel take its cheaper unblocked path
+                blocked = None
+        else:
+            blocked = None
+        # one kernel call for every commodity: the merged plan's flattened
+        # (j*V + v, j*E + e) ids index the raveled views below
+        apply_gamma_batch(
+            new_phi.reshape(-1),
+            ext.merged_gamma_plan,
+            context.traffic.reshape(-1),
+            context.delta.reshape(-1),
+            blocked,
+            eta,
+            cfg.traffic_tol,
+        )
+
+        return RoutingState(new_phi)
+
+    def step_reference(
+        self, routing: RoutingState, eta: Optional[float] = None
+    ) -> RoutingState:
+        """Pure-scalar application of ``Gamma`` (the seed implementation).
+
+        Recomputes everything with the scalar flow solve, the scalar
+        marginal wave, the scalar blocked sets, and the per-node kernel.
+        Kept as the ground truth :meth:`step` is asserted bit-identical
+        against in the tests and the iteration-core benchmark.
+        """
+        ext = self.ext
+        cfg = self.config
+        if eta is None:
+            eta = cfg.eta
+        new_phi = routing.phi.copy()
+
+        traffic = solve_traffic_scalar(ext, routing)
         edge_usage, node_usage = resource_usage(ext, routing, traffic)
         dadf = link_cost_derivative(ext, cfg.cost_model, edge_usage, node_usage)
 
         for view in ext.commodities:
             j = view.index
-            dadr = marginal_cost_to_destination(ext, j, routing, dadf)
+            dadr = marginal_cost_to_destination_scalar(ext, j, routing, dadf)
             delta = edge_marginals(ext, j, dadf, dadr)
             if cfg.use_blocking:
-                blocked = compute_blocked_sets(
+                blocked = compute_blocked_sets_scalar(
                     ext, j, routing, traffic, dadr, delta, eta
                 )
             else:
@@ -302,8 +478,12 @@ class GradientAlgorithm:
             validate_routing(ext, routing)
             routing = routing.copy()
 
+        # One IterationContext per routing state: the step, the convergence
+        # check, and the trajectory record all read the same cache, so the
+        # flow balance is solved exactly once per iteration.
+        context = self.compute_context(routing)
         history: List[IterationRecord] = []
-        record = self._record(0, routing)
+        record = self._record(0, context)
         history.append(record)
         if callback:
             callback(0, record)
@@ -317,12 +497,11 @@ class GradientAlgorithm:
         eta_ceiling = cfg.eta * cfg.eta_max_factor
 
         for iteration in range(1, cfg.max_iterations + 1):
-            routing = self.step(routing, eta=eta)
+            routing = self.step(routing, eta=eta, context=context)
             iterations_done = iteration
+            context = self.compute_context(routing)
 
-            cost = float(
-                evaluate_cost(ext, routing, cfg.cost_model).total
-            )
+            cost = context.cost
             if not np.isfinite(cost):
                 raise ConvergenceError(
                     f"cost diverged at iteration {iteration}; "
@@ -334,7 +513,7 @@ class GradientAlgorithm:
                 else:
                     eta = min(eta * cfg.eta_growth, eta_ceiling)
             if iteration % cfg.record_every == 0 or iteration == cfg.max_iterations:
-                record = self._record(iteration, routing)
+                record = self._record(iteration, context)
                 history.append(record)
                 if callback:
                     callback(iteration, record)
@@ -349,7 +528,7 @@ class GradientAlgorithm:
             previous_cost = cost
 
         if history[-1].iteration != iterations_done:
-            history.append(self._record(iterations_done, routing))
+            history.append(self._record(iterations_done, context))
 
         solution = build_solution(
             ext,
@@ -357,6 +536,7 @@ class GradientAlgorithm:
             cfg.cost_model,
             method="gradient",
             iterations=iterations_done,
+            traffic=context.traffic,
         )
         return GradientResult(
             solution=solution,
@@ -365,20 +545,24 @@ class GradientAlgorithm:
             iterations=iterations_done,
         )
 
-    def optimality(self, routing: RoutingState):
-        """Theorem-2 residuals at ``routing`` (see :mod:`repro.core.marginals`)."""
-        return optimality_residual(self.ext, routing, self.config.cost_model)
+    def optimality(
+        self,
+        routing: RoutingState,
+        context: Optional[IterationContext] = None,
+    ):
+        """Theorem-2 residuals at ``routing`` (see :mod:`repro.core.marginals`).
 
-    def _record(self, iteration: int, routing: RoutingState) -> IterationRecord:
-        traffic = solve_traffic(self.ext, routing)
-        breakdown = evaluate_cost(self.ext, routing, self.config.cost_model, traffic)
-        __, node_usage = resource_usage(self.ext, routing, traffic)
-        finite = np.isfinite(self.ext.capacity)
-        max_util = (
-            float((node_usage[finite] / self.ext.capacity[finite]).max())
-            if finite.any()
-            else 0.0
+        Pass the state's :class:`IterationContext` to reuse its cached
+        traffic and derivatives instead of re-solving.
+        """
+        return optimality_residual(
+            self.ext, routing, self.config.cost_model, context=context
         )
+
+    def _record(self, iteration: int, context: IterationContext) -> IterationRecord:
+        breakdown = context.breakdown
+        util = utilization_profile(context.node_usage, self.ext.capacity)
+        max_util = float(util.max()) if util.size else 0.0
         return IterationRecord(
             iteration=iteration,
             cost=breakdown.total,

@@ -39,8 +39,10 @@ __all__ = [
     "evaluate_cost",
     "link_cost_derivative",
     "marginal_cost_to_destination",
+    "marginal_cost_to_destination_scalar",
     "all_marginal_costs",
     "edge_marginals",
+    "all_edge_marginals",
     "phi_gradient",
     "OptimalityReport",
     "optimality_residual",
@@ -81,11 +83,20 @@ def evaluate_cost(
     routing: RoutingState,
     cost_model: CostModel,
     traffic: Optional[np.ndarray] = None,
+    usage: Optional[tuple] = None,
 ) -> CostBreakdown:
-    """Evaluate ``A``, its components, and the achieved utility."""
+    """Evaluate ``A``, its components, and the achieved utility.
+
+    ``traffic`` and ``usage`` (an ``(edge_usage, node_usage)`` pair) accept
+    precomputed values so callers holding an
+    :class:`repro.core.context.IterationContext` never re-solve the flow
+    balance.
+    """
     if traffic is None:
         traffic = solve_traffic(ext, routing)
-    edge_usage, node_usage = resource_usage(ext, routing, traffic)
+    if usage is None:
+        usage = resource_usage(ext, routing, traffic)
+    edge_usage, node_usage = usage
     admitted = admitted_rates(ext, routing, traffic)
 
     # Y is a function of the *difference-link usage* (eq. (8)): at a valid
@@ -93,22 +104,60 @@ def evaluate_cost(
     # actual link flow makes A a differentiable function of each phi
     # coordinate independently, which eqs. (9)-(11) (and the
     # finite-difference tests) rely on.
+    max_rates = ext.commodity_max_rates
+    clipped = np.minimum(np.maximum(admitted, 0.0), max_rates)
+    shed = max_rates - clipped
+    shed_flows = edge_usage[ext.commodity_difference_edges]
+    # U_j(lambda_j) never changes; cache it on the network
+    utility_at_max = getattr(ext, "_utility_at_max", None)
+    if utility_at_max is None:
+        utility_at_max = np.array(
+            [float(v.utility.value(v.max_rate)) for v in ext.commodities]
+        )
+        ext._utility_at_max = utility_at_max
     utility_loss = 0.0
     utility = 0.0
-    shed = np.empty(ext.num_commodities, dtype=float)
-    for view in ext.commodities:
-        a = float(np.clip(admitted[view.index], 0.0, view.max_rate))
-        shed_flow = float(edge_usage[view.difference_edge])
-        shed[view.index] = view.max_rate - a
-        utility += float(view.utility.value(a))
-        utility_loss += float(
-            view.utility.value(view.max_rate)
-            - view.utility.value(max(view.max_rate - shed_flow, 0.0))
-        )
+    weights = _linear_utility_weights(ext)
+    if weights is not None:
+        # throughput utilities (the paper's default): U_j(a) = w_j * a.  The
+        # elementwise products equal the per-commodity scalar calls bit for
+        # bit; the Python accumulation below keeps the same summation order.
+        u_vals = weights * clipped
+        l_vals = weights * np.maximum(max_rates - shed_flows, 0.0)
+        for j in range(ext.num_commodities):
+            utility += float(u_vals[j])
+            utility_loss += utility_at_max[j] - float(l_vals[j])
+    else:
+        for view in ext.commodities:
+            j = view.index
+            utility += float(view.utility.value(clipped[j]))
+            utility_loss += utility_at_max[j] - float(
+                view.utility.value(max(max_rates[j] - shed_flows[j], 0.0))
+            )
 
     penalty = float(np.sum(cost_model.penalty.value(node_usage, ext.capacity)))
     total = utility_loss + cost_model.eps * penalty
     return CostBreakdown(utility_loss, penalty, total, utility, admitted, shed)
+
+
+def _linear_utility_weights(ext: ExtendedNetwork):
+    """``(J,)`` weights if every commodity's utility is a plain
+    :class:`~repro.core.utility.LinearUtility`, else ``None`` (cached).
+
+    Linear utilities let the hot cost/derivative paths replace per-commodity
+    scalar calls with one elementwise product -- bit-identical because the
+    scalar calls compute exactly ``weight * a`` (and a constant derivative).
+    """
+    weights = getattr(ext, "_linear_utility_weights", False)
+    if weights is False:
+        from repro.core.utility import LinearUtility
+
+        if all(type(v.utility) is LinearUtility for v in ext.commodities):
+            weights = np.array([v.utility.weight for v in ext.commodities])
+        else:
+            weights = None
+        ext._linear_utility_weights = weights
+    return weights
 
 
 def link_cost_derivative(
@@ -128,6 +177,11 @@ def link_cost_derivative(
         cost_model.penalty.derivative(node_usage, ext.capacity), dtype=float
     )
     dadf = node_term[ext.edge_tail]
+    weights = _linear_utility_weights(ext)
+    if weights is not None:
+        # U_j'(.) == w_j regardless of the remaining rate
+        dadf[ext.commodity_difference_edges] = weights
+        return dadf
     for view in ext.commodities:
         e = view.difference_edge
         remaining = max(view.max_rate - float(edge_usage[e]), 0.0)
@@ -147,7 +201,33 @@ def marginal_cost_to_destination(
     boundary condition ``dA/dr_j(j) = 0`` at the sink -- exactly the
     information wave the distributed protocol propagates upstream.
     Nodes outside the commodity subgraph get 0.
+
+    Runs the commodity's :class:`~repro.core.transform.CommodityFlowPlan`
+    blocks *backward*: per block, per-edge contributions from already-final
+    downstream values, scattered into the tails with an ordered
+    ``np.add.at`` -- bit identical to
+    :func:`marginal_cost_to_destination_scalar`.
     """
+    plan = ext.flow_plans[j]
+    pj = routing.phi[j]
+    dadr = np.zeros(ext.num_nodes, dtype=float)
+    edges, tails, heads = plan.edges, plan.tails, plan.heads
+    gains, costs, offsets = plan.gains, plan.costs, plan.offsets
+    for b in range(len(offsets) - 1, 0, -1):
+        s, e = offsets[b - 1], offsets[b]
+        ee = edges[s:e]
+        contrib = pj[ee] * (dadf[ee] * costs[s:e] + gains[s:e] * dadr[heads[s:e]])
+        np.add.at(dadr, tails[s:e], contrib)
+    return dadr
+
+
+def marginal_cost_to_destination_scalar(
+    ext: ExtendedNetwork,
+    j: int,
+    routing: RoutingState,
+    dadf: np.ndarray,
+) -> np.ndarray:
+    """Reference scalar implementation of :func:`marginal_cost_to_destination`."""
     view = ext.commodities[j]
     phi = routing.phi
     dadr = np.zeros(ext.num_nodes, dtype=float)
@@ -170,13 +250,27 @@ def marginal_cost_to_destination(
 def all_marginal_costs(
     ext: ExtendedNetwork, routing: RoutingState, dadf: np.ndarray
 ) -> np.ndarray:
-    """``dA/dr`` for all commodities: shape ``(J, V)``."""
-    return np.stack(
-        [
-            marginal_cost_to_destination(ext, j, routing, dadf)
-            for j in range(ext.num_commodities)
-        ]
-    )
+    """``dA/dr`` for all commodities: shape ``(J, V)``.
+
+    One cross-commodity reverse wave over the merged levels of
+    :class:`~repro.core.transform.MergedWavePlan`: the commodities' flattened
+    index spaces are disjoint, so a single ordered scatter per level yields
+    each row bit-identical to :func:`marginal_cost_to_destination`.
+    """
+    phi_flat = routing.phi.reshape(-1)
+    dadr = np.zeros((ext.num_commodities, ext.num_nodes), dtype=float)
+    dadr_flat = dadr.reshape(-1)
+    for edges, raw, tails, heads, gains, costs, _uh, unique_tails in (
+        ext.merged_reverse_plan.levels
+    ):
+        contrib = phi_flat[edges] * (
+            dadf[raw] * costs + gains * dadr_flat[heads]
+        )
+        if unique_tails:
+            dadr_flat[tails] += contrib
+        else:
+            np.add.at(dadr_flat, tails, contrib)
+    return dadr
 
 
 def edge_marginals(
@@ -189,6 +283,17 @@ def edge_marginals(
     meaningful on the commodity's allowed edges.
     """
     return dadf * ext.cost[j] + ext.gain[j] * dadr[ext.edge_head]
+
+
+def all_edge_marginals(
+    ext: ExtendedNetwork, dadf: np.ndarray, dadr: np.ndarray
+) -> np.ndarray:
+    """:func:`edge_marginals` for all commodities at once: ``(J, E)``.
+
+    ``dadr`` is the stacked ``(J, V)`` marginal-cost array.  Row ``j`` is
+    elementwise identical to ``edge_marginals(ext, j, dadf, dadr[j])``.
+    """
+    return dadf[None, :] * ext.cost + ext.gain * dadr[:, ext.edge_head]
 
 
 def phi_gradient(
@@ -241,20 +346,34 @@ def optimality_residual(
     cost_model: Optional[CostModel] = None,
     traffic_threshold: float = 1e-9,
     phi_threshold: float = 1e-6,
+    context=None,
 ) -> OptimalityReport:
-    """Evaluate how far a routing state is from satisfying Theorem 2."""
-    if cost_model is None:
-        cost_model = CostModel()
-    traffic = solve_traffic(ext, routing)
-    edge_usage, node_usage = resource_usage(ext, routing, traffic)
-    dadf = link_cost_derivative(ext, cost_model, edge_usage, node_usage)
+    """Evaluate how far a routing state is from satisfying Theorem 2.
+
+    ``context`` optionally supplies a precomputed
+    :class:`repro.core.context.IterationContext` for ``routing`` so the flow
+    balance and the marginal wave are not solved again.
+    """
+    if context is not None:
+        traffic = context.traffic
+        dadf = context.dadf
+    else:
+        if cost_model is None:
+            cost_model = CostModel()
+        traffic = solve_traffic(ext, routing)
+        edge_usage, node_usage = resource_usage(ext, routing, traffic)
+        dadf = link_cost_derivative(ext, cost_model, edge_usage, node_usage)
 
     per_equal: List[float] = []
     per_sufficient: List[float] = []
     for view in ext.commodities:
         j = view.index
-        dadr = marginal_cost_to_destination(ext, j, routing, dadf)
-        delta = edge_marginals(ext, j, dadf, dadr)
+        if context is not None:
+            dadr = context.dadr[j]
+            delta = context.delta[j]
+        else:
+            dadr = marginal_cost_to_destination(ext, j, routing, dadf)
+            delta = edge_marginals(ext, j, dadf, dadr)
         worst_equal = 0.0
         worst_sufficient = 0.0
         for node in view.node_indices:

@@ -34,6 +34,15 @@ from repro.exceptions import ValidationError
 
 ArrayLike = Union[float, np.ndarray]
 
+# Slope of the linear stand-in penalty charged on a *drained* host (a node
+# whose budget was zeroed after model build, e.g. by a failure model).  The
+# true limit of the barrier as C -> 0 is an infinite derivative, but an inf
+# slope poisons the marginal-cost wave (``0 * inf = nan`` on unused edges),
+# exactly the failure mode the safeguarded tails exist to prevent.  A slope
+# this many orders of magnitude above any real marginal cost drives all flow
+# off the host within one gradient step while keeping arithmetic finite.
+_DRAINED_SLOPE = 1e12
+
 __all__ = [
     "PenaltyFunction",
     "InverseBarrier",
@@ -80,6 +89,27 @@ class _SafeguardedBarrier(PenaltyFunction):
             )
         self.switch_fraction = float(switch_fraction)
         self.tail_stiffness = float(tail_stiffness)
+        self._cap_cache = None
+
+    def _prepared(self, capacity: np.ndarray):
+        """Cache ``(barrier, drained, c, zs)`` per capacity array.
+
+        ``barrier`` selects the nodes with a finite positive budget (the only
+        ones the barrier formulas are defined on); ``drained`` selects
+        zero-or-negative budgets (hosts drained after model build), handled
+        by their limit values.  Keyed on array identity: a network's capacity
+        vector is built once per state, so the same array flows into every
+        per-iteration call and this work is loop-invariant.
+        """
+        cached = getattr(self, "_cap_cache", None)  # robust to unpickled instances
+        if cached is not None and cached[0] is capacity:
+            return cached[1], cached[2], cached[3], cached[4]
+        barrier = np.isfinite(capacity) & (capacity > 0.0)
+        drained = capacity <= 0.0
+        c = capacity[barrier]
+        zs = self.switch_fraction * c
+        self._cap_cache = (capacity, barrier, drained, c, zs)
+        return barrier, drained, c, zs
 
     # -- the underlying barrier on usage < capacity ---------------------------
     @abstractmethod
@@ -97,49 +127,62 @@ class _SafeguardedBarrier(PenaltyFunction):
         ...
 
     def value(self, usage: ArrayLike, capacity: ArrayLike) -> ArrayLike:
-        usage, capacity = np.broadcast_arrays(
-            np.asarray(usage, dtype=float), np.asarray(capacity, dtype=float)
-        )
+        usage = np.asarray(usage, dtype=float)
+        capacity = np.asarray(capacity, dtype=float)
+        if usage.shape != capacity.shape:
+            usage, capacity = np.broadcast_arrays(usage, capacity)
         out = np.zeros_like(usage)
-        finite = np.isfinite(capacity)
-        if not np.any(finite):
+        barrier, drained, c, zs = self._prepared(capacity)
+        if drained.any():
+            # drained host (budget zeroed after build): linear stand-in
+            # penalty -- convex, increasing, zero at idle, and steep enough
+            # to dominate every real cost, without the ``1/(C-z)``
+            # divide-by-zero of the barrier formulas at C = 0
+            out[drained] = _DRAINED_SLOPE * usage[drained]
+        if not barrier.any():
             return out if out.ndim else float(out)
-        z = usage[finite]
-        c = capacity[finite]
-        zs = self.switch_fraction * c
+        z = usage[barrier]
         inner = z <= zs
+        if inner.all():  # common case: everything strictly inside the barrier
+            out[barrier] = self._barrier_value(z, c)
+            return out if out.ndim else float(out)
         res = np.empty_like(z)
         res[inner] = self._barrier_value(z[inner], c[inner])
-        if np.any(~inner):
-            zo, co, zso = z[~inner], c[~inner], zs[~inner]
-            v0 = self._barrier_value(zso, co)
-            d0 = self._barrier_derivative(zso, co)
-            h0 = self.tail_stiffness * self._barrier_second(zso, co)
-            dz = zo - zso
-            res[~inner] = v0 + d0 * dz + 0.5 * h0 * dz**2
-        out[finite] = res
+        zo, co, zso = z[~inner], c[~inner], zs[~inner]
+        v0 = self._barrier_value(zso, co)
+        d0 = self._barrier_derivative(zso, co)
+        h0 = self.tail_stiffness * self._barrier_second(zso, co)
+        dz = zo - zso
+        res[~inner] = v0 + d0 * dz + 0.5 * h0 * dz**2
+        out[barrier] = res
         return out if out.ndim else float(out)
 
     def derivative(self, usage: ArrayLike, capacity: ArrayLike) -> ArrayLike:
-        usage, capacity = np.broadcast_arrays(
-            np.asarray(usage, dtype=float), np.asarray(capacity, dtype=float)
-        )
+        usage = np.asarray(usage, dtype=float)
+        capacity = np.asarray(capacity, dtype=float)
+        if usage.shape != capacity.shape:
+            usage, capacity = np.broadcast_arrays(usage, capacity)
         out = np.zeros_like(usage)
-        finite = np.isfinite(capacity)
-        if not np.any(finite):
+        barrier, drained, c, zs = self._prepared(capacity)
+        if drained.any():
+            # steer the gradient away from a drained host regardless of its
+            # current load; finite (unlike the barrier's C -> 0 limit) so the
+            # marginal-cost wave never multiplies ``0 * inf``
+            out[drained] = _DRAINED_SLOPE
+        if not barrier.any():
             return out if out.ndim else float(out)
-        z = usage[finite]
-        c = capacity[finite]
-        zs = self.switch_fraction * c
+        z = usage[barrier]
         inner = z <= zs
+        if inner.all():
+            out[barrier] = self._barrier_derivative(z, c)
+            return out if out.ndim else float(out)
         res = np.empty_like(z)
         res[inner] = self._barrier_derivative(z[inner], c[inner])
-        if np.any(~inner):
-            zo, co, zso = z[~inner], c[~inner], zs[~inner]
-            d0 = self._barrier_derivative(zso, co)
-            h0 = self.tail_stiffness * self._barrier_second(zso, co)
-            res[~inner] = d0 + h0 * (zo - zso)
-        out[finite] = res
+        zo, co, zso = z[~inner], c[~inner], zs[~inner]
+        d0 = self._barrier_derivative(zso, co)
+        h0 = self.tail_stiffness * self._barrier_second(zso, co)
+        res[~inner] = d0 + h0 * (zo - zso)
+        out[barrier] = res
         return out if out.ndim else float(out)
 
 

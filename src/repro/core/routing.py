@@ -35,10 +35,12 @@ __all__ = [
     "uniform_routing",
     "validate_routing",
     "solve_traffic",
+    "solve_traffic_scalar",
     "solve_traffic_linear",
     "commodity_edge_flows",
     "resource_usage",
     "admitted_rates",
+    "utilization_profile",
     "FeasibilityReport",
     "feasibility_report",
 ]
@@ -139,11 +141,19 @@ def validate_routing(
 
 def external_inputs(ext: ExtendedNetwork) -> np.ndarray:
     """The ``(J, V)`` external input matrix ``r`` of eq. (2):
-    ``lambda_j`` at each dummy source, zero elsewhere."""
-    r = np.zeros((ext.num_commodities, ext.num_nodes), dtype=float)
-    for view in ext.commodities:
-        r[view.index, view.dummy] = view.max_rate
-    return r
+    ``lambda_j`` at each dummy source, zero elsewhere.
+
+    The matrix is constant per network; a cached template is copied on each
+    call (callers -- notably the flow solve -- mutate the result in place).
+    """
+    template = getattr(ext, "_external_inputs_template", None)
+    if template is None:
+        template = np.zeros((ext.num_commodities, ext.num_nodes), dtype=float)
+        template[np.arange(ext.num_commodities), ext.commodity_dummies] = (
+            ext.commodity_max_rates
+        )
+        ext._external_inputs_template = template
+    return template.copy()
 
 
 def solve_traffic(ext: ExtendedNetwork, routing: RoutingState) -> np.ndarray:
@@ -152,6 +162,35 @@ def solve_traffic(ext: ExtendedNetwork, routing: RoutingState) -> np.ndarray:
     Returns ``t`` of shape ``(J, V)``: the traffic rate of each commodity at
     each extended node.  Exact in one topological pass per commodity because
     the allowed subgraphs are DAGs.
+
+    Vectorized over the cross-commodity levels of
+    :class:`repro.core.transform.MergedWavePlan`: per level, one gather of
+    tail traffic and one ordered scatter-add into the heads, covering every
+    commodity at once through flattened disjoint index spaces.  ``np.add.at``
+    accumulates element by element in index order (and the fancy ``+=`` fast
+    path only fires when a level's heads are distinct), so the result is bit
+    identical to :func:`solve_traffic_scalar` -- the property tests pin this.
+    """
+    phi_flat = routing.phi.reshape(-1)
+    t = external_inputs(ext)
+    t_flat = t.reshape(-1)
+    for edges, _raw, tails, heads, gains, _costs, unique, _ut in (
+        ext.merged_forward_plan.levels
+    ):
+        contrib = t_flat[tails] * phi_flat[edges] * gains
+        if unique:
+            t_flat[heads] += contrib
+        else:
+            np.add.at(t_flat, heads, contrib)
+    return t
+
+
+def solve_traffic_scalar(ext: ExtendedNetwork, routing: RoutingState) -> np.ndarray:
+    """Reference scalar implementation of :func:`solve_traffic`.
+
+    One pure-Python topological pass per commodity.  Kept as the ground truth
+    the vectorized solver is asserted bit-identical against, and for
+    small-instance debugging where stepping through the recursion helps.
     """
     phi = routing.phi
     t = external_inputs(ext)
@@ -219,7 +258,8 @@ def resource_usage(
     ``node_usage[i] = f_i`` sums ``edge_usage`` over ``i``'s out-edges.
     """
     flows = commodity_edge_flows(ext, routing, traffic)
-    edge_usage = np.einsum("je,je->e", flows, ext.cost)
+    # same commodity-order sequential sum as einsum("je,je->e"), less dispatch
+    edge_usage = np.add.reduce(flows * ext.cost, axis=0)
     node_usage = np.zeros(ext.num_nodes, dtype=float)
     np.add.at(node_usage, ext.edge_tail, edge_usage)
     return edge_usage, node_usage
@@ -231,12 +271,29 @@ def admitted_rates(
     """Admitted rate ``a_j``: the flow over each dummy input link."""
     if traffic is None:
         traffic = solve_traffic(ext, routing)
-    a = np.empty(ext.num_commodities, dtype=float)
-    for view in ext.commodities:
-        a[view.index] = traffic[view.index, view.dummy] * routing.phi[
-            view.index, view.input_edge
-        ]
-    return a
+    rows = getattr(ext, "_commodity_rows", None)
+    if rows is None:
+        rows = ext._commodity_rows = np.arange(ext.num_commodities)
+    return (
+        traffic[rows, ext.commodity_dummies]
+        * routing.phi[rows, ext.commodity_input_edges]
+    )
+
+
+def utilization_profile(node_usage: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+    """Per-node utilization ``usage / capacity``, safe for edge capacities.
+
+    Infinite-capacity nodes (sinks, dummies) report 0.  Zero-capacity nodes
+    (drained or failed hosts) report 0 when idle and ``inf`` when they carry
+    any usage, instead of emitting divide-by-zero warnings and ``nan``.
+    """
+    utilization = np.zeros_like(node_usage, dtype=float)
+    positive = capacity > 0.0  # includes inf: usage / inf == 0.0 exactly
+    utilization[positive] = node_usage[positive] / capacity[positive]
+    if not positive.all():
+        drained = ~positive
+        utilization[drained] = np.where(node_usage[drained] > 0.0, np.inf, 0.0)
+    return utilization
 
 
 @dataclass
@@ -262,8 +319,7 @@ def feasibility_report(
     """Evaluate the capacity constraints (eq. (6)) for a routing state."""
     __, node_usage = resource_usage(ext, routing, traffic)
     finite = np.isfinite(ext.capacity)
-    utilization = np.zeros_like(node_usage)
-    utilization[finite] = node_usage[finite] / ext.capacity[finite]
+    utilization = utilization_profile(node_usage, ext.capacity)
     violations = [
         (ext.nodes[i].name, float(node_usage[i]), float(ext.capacity[i]))
         for i in np.nonzero(finite & (node_usage > ext.capacity * (1.0 + rtol)))[0]

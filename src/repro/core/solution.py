@@ -105,9 +105,16 @@ def build_solution(
     method: str,
     iterations: Optional[int] = None,
     extras: Optional[Dict[str, object]] = None,
+    traffic: Optional[np.ndarray] = None,
 ) -> Solution:
-    """Assemble a :class:`Solution` from a routing state."""
-    traffic = solve_traffic(ext, routing)
+    """Assemble a :class:`Solution` from a routing state.
+
+    ``traffic`` accepts the flow-balance solution of ``routing`` when the
+    caller already holds it (e.g. from an :class:`~repro.core.context.
+    IterationContext`), avoiding a redundant :func:`solve_traffic`.
+    """
+    if traffic is None:
+        traffic = solve_traffic(ext, routing)
     breakdown = evaluate_cost(ext, routing, cost_model, traffic)
     # keep usage handy for analysis without recomputation
     edge_usage, node_usage = resource_usage(ext, routing, traffic)

@@ -40,7 +40,16 @@ from repro.exceptions import TransformError
 
 Edge = Tuple[str, str]
 
-__all__ = ["ExtNodeKind", "ExtEdgeKind", "ExtendedNetwork", "build_extended_network"]
+__all__ = [
+    "ExtNodeKind",
+    "ExtEdgeKind",
+    "CommodityFlowPlan",
+    "CommodityGammaPlan",
+    "MergedWavePlan",
+    "MergedEdgeList",
+    "ExtendedNetwork",
+    "build_extended_network",
+]
 
 
 class ExtNodeKind(Enum):
@@ -99,6 +108,120 @@ class CommodityView:
     edge_indices: List[int] = field(default_factory=list)  # allowed edges, incl. dummy
     node_indices: List[int] = field(default_factory=list)  # touched nodes
     topo_order: List[int] = field(default_factory=list)  # nodes, sources first
+
+
+@dataclass(frozen=True)
+class CommodityFlowPlan:
+    """Topo-level CSR structure of one commodity's allowed edges.
+
+    The flat arrays list the commodity's edges in exactly the order the
+    scalar flow solve visits them (nodes in topological order, each node's
+    out-edges in its ``commodity_out_edges`` order).  ``offsets`` partitions
+    that sequence into *blocks*: within a block no edge's tail is the head of
+    an earlier edge of the same block, so a whole block can be evaluated from
+    a single gather of tail traffic and scattered with one ordered
+    ``np.add.at`` -- which accumulates element by element and therefore
+    reproduces the scalar pass bit for bit.  Blocks never split a node's
+    out-edge list.  Traversed forward this solves the flow balance (eq. (3));
+    traversed backward it runs the marginal-cost wave (eq. (9)).
+    """
+
+    edges: np.ndarray  # (P,) edge ids, scalar iteration order
+    tails: np.ndarray  # (P,) tail node per edge
+    heads: np.ndarray  # (P,) head node per edge
+    gains: np.ndarray  # (P,) gain[j, edge]
+    costs: np.ndarray  # (P,) cost[j, edge]
+    offsets: np.ndarray  # (B + 1,) block boundaries into the flat arrays
+    # per block: are all heads distinct?  If so the scatter-add can use the
+    # much faster fancy ``+=`` without changing any accumulation order.
+    unique_heads: np.ndarray  # (B,) bool
+
+
+@dataclass(frozen=True)
+class CommodityGammaPlan:
+    """Padded per-node out-edge matrix for the batched update map ``Gamma``.
+
+    Covers exactly the nodes the synchronous engine updates: non-sink nodes
+    of the commodity subgraph with at least two allowed out-edges (a single
+    out-edge always carries fraction 1).  Row ``n`` of ``edge_matrix`` holds
+    node ``nodes[n]``'s out-edge ids in ``commodity_out_edges`` order, padded
+    with 0 where ``valid`` is False.
+
+    The *merged* plan (:attr:`ExtendedNetwork.merged_gamma_plan`) reuses this
+    structure with flattened cross-commodity ids (node ``j*V + v``, edge
+    ``j*E + e``) so one kernel call covers every commodity at once.
+    """
+
+    nodes: np.ndarray  # (N,) node ids
+    edge_matrix: np.ndarray  # (N, K) edge ids, 0-padded
+    valid: np.ndarray  # (N, K) bool
+    # derived, filled in __post_init__: row index vector and the flat edge ids
+    # of the valid cells, cached because the Gamma kernel runs every iteration
+    rows: np.ndarray = None  # (N,)
+    targets: np.ndarray = None  # (sum(valid),) == edge_matrix[valid]
+
+    def __post_init__(self):
+        object.__setattr__(self, "rows", np.arange(self.nodes.size))
+        object.__setattr__(self, "targets", self.edge_matrix[self.valid])
+
+
+@dataclass(frozen=True)
+class MergedWavePlan:
+    """Cross-commodity level structure for one direction of the flow waves.
+
+    Each *level* concatenates one topo block from every commodity (forward:
+    block ``k``; reverse: block ``B_j - 1 - k``, so every commodity's own
+    blocks still execute in order).  All indices are flattened across
+    commodities -- node ``j*V + v``, edge ``j*E + e`` -- which keeps the
+    commodities' index spaces disjoint: a single ordered ``np.add.at`` per
+    level reproduces every commodity's scalar accumulation order exactly
+    while amortizing the per-call NumPy overhead over all of them.
+    """
+
+    edges: np.ndarray  # (P,) flat commodity-edge ids (j*E + e)
+    raw_edges: np.ndarray  # (P,) plain edge ids (for shared per-edge arrays)
+    tails: np.ndarray  # (P,) flat node ids (j*V + v)
+    heads: np.ndarray  # (P,) flat node ids
+    gains: np.ndarray  # (P,) gain[j, edge]
+    costs: np.ndarray  # (P,) cost[j, edge]
+    offsets: np.ndarray  # (L + 1,) level boundaries
+    unique_heads: np.ndarray  # (L,) all heads distinct within the level?
+    # per-level views (edges, raw_edges, tails, heads, gains, costs,
+    # unique_heads, unique_tails) pre-sliced once at build time -- the waves
+    # run every iteration and the slice arithmetic alone is measurable at
+    # this scale.  The two uniqueness flags let forward (scatter by head) and
+    # reverse (scatter by tail) waves use fancy ``+=`` instead of ``ufunc.at``
+    # wherever the level's scatter targets are distinct.
+    levels: Tuple[
+        Tuple[
+            np.ndarray,
+            np.ndarray,
+            np.ndarray,
+            np.ndarray,
+            np.ndarray,
+            np.ndarray,
+            bool,
+            bool,
+        ],
+        ...,
+    ] = ()
+
+
+@dataclass(frozen=True)
+class MergedEdgeList:
+    """All commodities' allowed edges, flat-indexed, in commodity order.
+
+    ``g_tails`` / ``g_heads`` pre-gather the (static) node potentials at each
+    edge's endpoints so the per-iteration improper-link test skips two fancy
+    gathers.
+    """
+
+    edges: np.ndarray  # (P,) flat commodity-edge ids (j*E + e)
+    raw_edges: np.ndarray  # (P,) plain edge ids
+    tails: np.ndarray  # (P,) flat node ids (j*V + v)
+    heads: np.ndarray  # (P,) flat node ids
+    g_tails: np.ndarray = None  # (P,) node_potentials at tails
+    g_heads: np.ndarray = None  # (P,) node_potentials at heads
 
 
 class ExtendedNetwork:
@@ -165,6 +288,21 @@ class ExtendedNetwork:
         for c in commodities:
             self.difference_edge_commodity[c.difference_edge] = c.index
 
+        # per-commodity special indices as arrays (hot paths index with these
+        # instead of looping over the commodity views)
+        self.commodity_dummies = np.array(
+            [c.dummy for c in commodities], dtype=np.intp
+        )
+        self.commodity_input_edges = np.array(
+            [c.input_edge for c in commodities], dtype=np.intp
+        )
+        self.commodity_difference_edges = np.array(
+            [c.difference_edge for c in commodities], dtype=np.intp
+        )
+        self.commodity_max_rates = np.array(
+            [c.max_rate for c in commodities], dtype=float
+        )
+
         # per-commodity out-edge lists restricted to the allowed subgraph
         self.commodity_out_edges: List[List[List[int]]] = []
         for c in commodities:
@@ -178,6 +316,254 @@ class ExtendedNetwork:
         # shed shortcut priced in lambda-units and is exempt).  Used wherever
         # marginal costs must be compared in *source-equivalent* units.
         self.node_potentials = self._compute_node_potentials()
+
+        # vectorization plans, built on first use (many consumers of the
+        # extended network never run the iterative solvers)
+        self._flow_plans: Optional[List[CommodityFlowPlan]] = None
+        self._gamma_plans: Optional[List[CommodityGammaPlan]] = None
+        self._commodity_edge_arrays: Optional[List[np.ndarray]] = None
+        self._merged_forward_plan: Optional[MergedWavePlan] = None
+        self._merged_reverse_plan: Optional[MergedWavePlan] = None
+        self._merged_gamma_plan: Optional[CommodityGammaPlan] = None
+        self._merged_edge_list: Optional[MergedEdgeList] = None
+
+    @property
+    def flow_plans(self) -> List[CommodityFlowPlan]:
+        """Per-commodity topo-level CSR plans for the vectorized flow passes."""
+        if self._flow_plans is None:
+            self._flow_plans = [self._build_flow_plan(c) for c in self.commodities]
+        return self._flow_plans
+
+    @property
+    def gamma_plans(self) -> List[CommodityGammaPlan]:
+        """Per-commodity padded out-edge matrices for the batched ``Gamma``."""
+        if self._gamma_plans is None:
+            self._gamma_plans = [self._build_gamma_plan(c) for c in self.commodities]
+        return self._gamma_plans
+
+    @property
+    def commodity_edge_arrays(self) -> List[np.ndarray]:
+        """``view.edge_indices`` of each commodity as an int array."""
+        if self._commodity_edge_arrays is None:
+            self._commodity_edge_arrays = [
+                np.asarray(c.edge_indices, dtype=np.intp) for c in self.commodities
+            ]
+        return self._commodity_edge_arrays
+
+    @property
+    def merged_forward_plan(self) -> MergedWavePlan:
+        """Cross-commodity levels for the forward flow solve (eq. (3))."""
+        if self._merged_forward_plan is None:
+            self._merged_forward_plan = self._build_merged_wave(reverse=False)
+        return self._merged_forward_plan
+
+    @property
+    def merged_reverse_plan(self) -> MergedWavePlan:
+        """Cross-commodity levels for the backward waves (eq. (9), tags)."""
+        if self._merged_reverse_plan is None:
+            self._merged_reverse_plan = self._build_merged_wave(reverse=True)
+        return self._merged_reverse_plan
+
+    @property
+    def merged_gamma_plan(self) -> CommodityGammaPlan:
+        """All commodities' ``Gamma`` rows in one flat-indexed plan."""
+        if self._merged_gamma_plan is None:
+            self._merged_gamma_plan = self._build_merged_gamma_plan()
+        return self._merged_gamma_plan
+
+    @property
+    def merged_edge_list(self) -> MergedEdgeList:
+        """All commodities' allowed edges with flattened cross-commodity ids."""
+        if self._merged_edge_list is None:
+            raw = [self.commodity_edge_arrays[j] for j in range(self.num_commodities)]
+            raw_edges = (
+                np.concatenate(raw) if raw else np.empty(0, dtype=np.intp)
+            )
+            flat = np.concatenate(
+                [arr + j * self.num_edges for j, arr in enumerate(raw)]
+            ) if raw else np.empty(0, dtype=np.intp)
+            tails = np.concatenate(
+                [
+                    self.edge_tail[arr] + j * self.num_nodes
+                    for j, arr in enumerate(raw)
+                ]
+            ) if raw else np.empty(0, dtype=np.intp)
+            heads = np.concatenate(
+                [
+                    self.edge_head[arr] + j * self.num_nodes
+                    for j, arr in enumerate(raw)
+                ]
+            ) if raw else np.empty(0, dtype=np.intp)
+            g_flat = self.node_potentials.reshape(-1)
+            self._merged_edge_list = MergedEdgeList(
+                edges=flat,
+                raw_edges=raw_edges,
+                tails=tails,
+                heads=heads,
+                g_tails=g_flat[tails],
+                g_heads=g_flat[heads],
+            )
+        return self._merged_edge_list
+
+    def _build_merged_wave(self, reverse: bool) -> MergedWavePlan:
+        plans = self.flow_plans
+        E, V = self.num_edges, self.num_nodes
+        num_levels = max(
+            (len(p.offsets) - 1 for p in plans), default=0
+        )
+        edges: List[np.ndarray] = []
+        raw_edges: List[np.ndarray] = []
+        tails: List[np.ndarray] = []
+        heads: List[np.ndarray] = []
+        gains: List[np.ndarray] = []
+        costs: List[np.ndarray] = []
+        offsets: List[int] = [0]
+        unique: List[bool] = []
+        total = 0
+        unique_tails: List[bool] = []
+        for level in range(num_levels):
+            level_heads: List[int] = []
+            level_tails: List[int] = []
+            for j, plan in enumerate(plans):
+                num_blocks = len(plan.offsets) - 1
+                b = (num_blocks - 1 - level) if reverse else level
+                if b < 0 or b >= num_blocks:
+                    continue
+                s, e = plan.offsets[b], plan.offsets[b + 1]
+                edges.append(plan.edges[s:e] + j * E)
+                raw_edges.append(plan.edges[s:e])
+                tails.append(plan.tails[s:e] + j * V)
+                heads.append(plan.heads[s:e] + j * V)
+                gains.append(plan.gains[s:e])
+                costs.append(plan.costs[s:e])
+                level_heads.extend((plan.heads[s:e] + j * V).tolist())
+                level_tails.extend((plan.tails[s:e] + j * V).tolist())
+                total += e - s
+            offsets.append(total)
+            unique.append(len(set(level_heads)) == len(level_heads))
+            unique_tails.append(len(set(level_tails)) == len(level_tails))
+
+        def cat(parts, dtype):
+            return (
+                np.ascontiguousarray(np.concatenate(parts))
+                if parts
+                else np.empty(0, dtype=dtype)
+            )
+
+        plan = MergedWavePlan(
+            edges=cat(edges, np.intp),
+            raw_edges=cat(raw_edges, np.intp),
+            tails=cat(tails, np.intp),
+            heads=cat(heads, np.intp),
+            gains=cat(gains, float),
+            costs=cat(costs, float),
+            offsets=np.asarray(offsets, dtype=np.intp),
+            unique_heads=np.asarray(unique, dtype=bool),
+        )
+        levels = tuple(
+            (
+                plan.edges[s:e],
+                plan.raw_edges[s:e],
+                plan.tails[s:e],
+                plan.heads[s:e],
+                plan.gains[s:e],
+                plan.costs[s:e],
+                bool(plan.unique_heads[b]),
+                unique_tails[b],
+            )
+            for b, (s, e) in enumerate(zip(plan.offsets[:-1], plan.offsets[1:]))
+        )
+        object.__setattr__(plan, "levels", levels)
+        return plan
+
+    def _build_merged_gamma_plan(self) -> CommodityGammaPlan:
+        plans = self.gamma_plans
+        E, V = self.num_edges, self.num_nodes
+        rows = sum(p.nodes.size for p in plans)
+        width = max((p.edge_matrix.shape[1] for p in plans if p.nodes.size), default=0)
+        nodes = np.empty(rows, dtype=np.intp)
+        edge_matrix = np.zeros((rows, width), dtype=np.intp)
+        valid = np.zeros((rows, width), dtype=bool)
+        at = 0
+        for j, plan in enumerate(plans):
+            n, k = plan.edge_matrix.shape
+            if n == 0:
+                continue
+            nodes[at : at + n] = plan.nodes + j * V
+            edge_matrix[at : at + n, :k] = np.where(
+                plan.valid, plan.edge_matrix + j * E, 0
+            )
+            valid[at : at + n, :k] = plan.valid
+            at += n
+        return CommodityGammaPlan(nodes=nodes, edge_matrix=edge_matrix, valid=valid)
+
+    def _build_flow_plan(self, view: "CommodityView") -> CommodityFlowPlan:
+        j = view.index
+        out_lists = self.commodity_out_edges[j]
+        flat: List[int] = []
+        offsets: List[int] = [0]
+        block_heads: set = set()
+        for node in view.topo_order:
+            out = out_lists[node]
+            if not out:
+                continue
+            if node in block_heads:
+                # this node's traffic was updated inside the current block;
+                # its out-edges must wait for the next gather
+                offsets.append(len(flat))
+                block_heads = set()
+            flat.extend(out)
+            block_heads.update(int(self.edge_head[e]) for e in out)
+        offsets.append(len(flat))
+
+        edges = np.asarray(flat, dtype=np.intp)
+        tails = self.edge_tail[edges] if edges.size else np.empty(0, dtype=np.intp)
+        heads = self.edge_head[edges] if edges.size else np.empty(0, dtype=np.intp)
+        gains = self.gain[j, edges] if edges.size else np.empty(0, dtype=float)
+        costs = self.cost[j, edges] if edges.size else np.empty(0, dtype=float)
+        unique = np.array(
+            [
+                len(set(heads[s:e].tolist())) == e - s
+                for s, e in zip(offsets[:-1], offsets[1:])
+            ],
+            dtype=bool,
+        )
+        return CommodityFlowPlan(
+            edges=edges,
+            tails=np.asarray(tails, dtype=np.intp),
+            heads=np.asarray(heads, dtype=np.intp),
+            gains=np.asarray(gains, dtype=float),
+            costs=np.asarray(costs, dtype=float),
+            offsets=np.asarray(offsets, dtype=np.intp),
+            unique_heads=unique,
+        )
+
+    def _build_gamma_plan(self, view: "CommodityView") -> CommodityGammaPlan:
+        j = view.index
+        out_lists = self.commodity_out_edges[j]
+        nodes = [
+            node
+            for node in view.node_indices
+            if node != view.sink and len(out_lists[node]) >= 2
+        ]
+        if not nodes:
+            return CommodityGammaPlan(
+                nodes=np.empty(0, dtype=np.intp),
+                edge_matrix=np.empty((0, 0), dtype=np.intp),
+                valid=np.empty((0, 0), dtype=bool),
+            )
+        width = max(len(out_lists[node]) for node in nodes)
+        edge_matrix = np.zeros((len(nodes), width), dtype=np.intp)
+        valid = np.zeros((len(nodes), width), dtype=bool)
+        for row, node in enumerate(nodes):
+            out = out_lists[node]
+            edge_matrix[row, : len(out)] = out
+            valid[row, : len(out)] = True
+        return CommodityGammaPlan(
+            nodes=np.asarray(nodes, dtype=np.intp),
+            edge_matrix=edge_matrix,
+            valid=valid,
+        )
 
     def _compute_node_potentials(self) -> np.ndarray:
         g = np.ones((self.num_commodities, self.num_nodes), dtype=float)

@@ -17,9 +17,9 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.core.gradient import GradientConfig
-from repro.core.marginals import evaluate_cost
-from repro.core.routing import RoutingState, initial_routing
+from repro.core.context import IterationContext, build_iteration_context
+from repro.core.gradient import GradientConfig, IterationRecord
+from repro.core.routing import RoutingState, initial_routing, utilization_profile
 from repro.core.solution import Solution, build_solution
 from repro.core.transform import ExtendedNetwork
 from repro.exceptions import SimulationError
@@ -32,13 +32,31 @@ __all__ = ["DistributedRunResult", "DistributedGradientRun"]
 
 @dataclass
 class DistributedRunResult:
-    """Outcome of a distributed run: solution, trajectory, protocol metrics."""
+    """Outcome of a distributed run: solution, trajectory, protocol metrics.
+
+    The trajectory mirrors :class:`repro.core.gradient.GradientResult`: a
+    ``history`` of :class:`~repro.core.gradient.IterationRecord` entries plus
+    the same ndarray accessors (``utilities``, ``costs``,
+    ``recorded_iterations``), so analysis code can consume either result
+    type interchangeably.
+    """
 
     solution: Solution
     iterations: int
-    utilities: List[float]
-    costs: List[float]
+    history: List[IterationRecord]
     metrics: List[IterationMetrics] = field(default_factory=list)
+
+    @property
+    def utilities(self) -> np.ndarray:
+        return np.array([rec.utility for rec in self.history])
+
+    @property
+    def costs(self) -> np.ndarray:
+        return np.array([rec.cost for rec in self.history])
+
+    @property
+    def recorded_iterations(self) -> np.ndarray:
+        return np.array([rec.iteration for rec in self.history])
 
     @property
     def average_rounds_per_iteration(self) -> float:
@@ -147,29 +165,43 @@ class DistributedGradientRun:
         self.load_routing(routing)
         self.forecast_phase()  # seed t and f
 
-        utilities: List[float] = []
-        costs: List[float] = []
+        history: List[IterationRecord] = []
         all_metrics: List[IterationMetrics] = []
+        context: Optional[IterationContext] = None
         for iteration in range(1, iterations + 1):
             all_metrics.append(self.iterate(iteration))
             if iteration % record_every == 0 or iteration == iterations:
                 snapshot = self.export_routing()
-                breakdown = evaluate_cost(self.ext, snapshot, self.config.cost_model)
-                utilities.append(breakdown.utility)
-                costs.append(breakdown.total)
+                # one flow solve per record; no derivatives needed here
+                context = build_iteration_context(
+                    self.ext, snapshot, self.config.cost_model, with_derivatives=False
+                )
+                history.append(self._record(iteration, context))
 
-        final = self.export_routing()
+        # the loop always records iteration == iterations, so the last
+        # context describes the final routing state; reuse its flow solve
         solution = build_solution(
             self.ext,
-            final,
+            context.routing,
             self.config.cost_model,
             method="gradient-distributed",
             iterations=iterations,
+            traffic=context.traffic,
         )
         return DistributedRunResult(
             solution=solution,
             iterations=iterations,
-            utilities=utilities,
-            costs=costs,
+            history=history,
             metrics=all_metrics,
+        )
+
+    def _record(self, iteration: int, context: IterationContext) -> IterationRecord:
+        breakdown = context.breakdown
+        util = utilization_profile(context.node_usage, self.ext.capacity)
+        return IterationRecord(
+            iteration=iteration,
+            cost=breakdown.total,
+            utility=breakdown.utility,
+            max_utilization=float(util.max()) if util.size else 0.0,
+            admitted=breakdown.admitted.copy(),
         )

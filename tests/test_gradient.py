@@ -10,6 +10,7 @@ from repro.core.gradient import (
     GradientAlgorithm,
     GradientConfig,
     apply_gamma_at_node,
+    apply_gamma_batch,
 )
 from repro.core.marginals import CostModel, evaluate_cost
 from repro.core.optimal import arc_flows_to_routing, solve_lp
@@ -20,7 +21,12 @@ from repro.core.routing import (
     validate_routing,
 )
 from repro.core.utility import LogUtility
-from repro.workloads import diamond_network, figure1_network
+from repro.workloads import (
+    diamond_network,
+    figure1_network,
+    random_stream_network,
+)
+from repro.workloads.random_network import RandomNetworkSpec
 
 
 class TestConfig:
@@ -97,6 +103,25 @@ class TestGammaKernel:
         apply_gamma_at_node(phi_small, 1.0, out, delta, None, 0.01, 1e-12)
         apply_gamma_at_node(phi_big, 1.0, out, delta, None, 0.2, 1e-12)
         assert (0.5 - phi_small[0]) < (0.5 - phi_big[0])
+
+    def test_renormalization_excludes_blocked_edges(self):
+        """Regression: the drift renormalization used to rescale *all*
+        out-edges, including blocked ones.  Eq. (14) freezes blocked edges at
+        their current value, so a blocked edge carrying residual mass (e.g.
+        a fraction just under the zero tolerance) must come out untouched
+        and only the eligible fractions may absorb the correction."""
+        residual = 4e-3
+        phi = np.zeros(3)
+        out = [0, 1, 2]
+        # deliberately off the simplex so the renormalization fires
+        phi[out] = [0.5, 0.49, residual]
+        blocked = np.array([False, False, True])
+        delta = np.array([5.0, 1.0, 0.5])
+        apply_gamma_at_node(phi, 1.0, out, delta, blocked, eta=0.1, traffic_tol=1e-12)
+        assert phi[2] == residual  # frozen bit-exactly
+        # eligible mass renormalized to exactly the remaining budget
+        assert phi[0] + phi[1] == pytest.approx(1.0 - residual, abs=1e-12)
+        assert phi[out].sum() == pytest.approx(1.0, abs=1e-12)
 
 
 class TestConvergence:
@@ -222,3 +247,132 @@ class TestRunMechanics:
         result = algo.run()
         report = algo.optimality(result.solution.routing)
         assert report.sufficient_residual < 1e-3
+
+    def test_optimality_accepts_cached_context(self, diamond_ext):
+        algo = GradientAlgorithm(diamond_ext, GradientConfig(eta=0.05))
+        routing = initial_routing(diamond_ext)
+        context = algo.compute_context(routing)
+        with_cache = algo.optimality(routing, context=context)
+        without = algo.optimality(routing)
+        assert with_cache.sufficient_residual == without.sufficient_residual
+        assert with_cache.equal_residual == without.equal_residual
+
+
+class TestVectorizedStep:
+    """The batched step must be bit-identical to the scalar reference path
+    (which is itself what the message-passing agents execute)."""
+
+    @pytest.mark.parametrize("use_blocking", [True, False])
+    def test_step_matches_reference_on_figure1(self, figure1_ext, use_blocking):
+        algo = GradientAlgorithm(
+            figure1_ext, GradientConfig(eta=0.05, use_blocking=use_blocking)
+        )
+        fast = initial_routing(figure1_ext)
+        slow = initial_routing(figure1_ext)
+        for _ in range(120):
+            fast = algo.step(fast)
+            slow = algo.step_reference(slow)
+            assert np.array_equal(fast.phi, slow.phi)
+
+    @pytest.mark.parametrize("net_seed", [2, 7, 11])
+    def test_step_matches_reference_on_random_dags(self, net_seed):
+        spec = RandomNetworkSpec(
+            num_nodes=16,
+            num_commodities=2,
+            depth_range=(3, 4),
+            layer_width_range=(2, 3),
+        )
+        ext = build_extended_network(random_stream_network(spec, seed=net_seed))
+        algo = GradientAlgorithm(ext, GradientConfig(eta=0.04))
+        fast = initial_routing(ext)
+        slow = initial_routing(ext)
+        for _ in range(80):
+            fast = algo.step(fast)
+            slow = algo.step_reference(slow)
+            assert np.array_equal(fast.phi, slow.phi)
+
+    def test_batch_kernel_matches_scalar_kernel(self, figure4_ext):
+        """Drive the two kernels directly on identical random inputs."""
+        ext = figure4_ext
+        rng = np.random.default_rng(42)
+        for j in range(ext.num_commodities):
+            plan = ext.gamma_plans[j]
+            if plan.nodes.size == 0:
+                continue
+            phi_batch = np.zeros(ext.num_edges)
+            for node in plan.nodes:
+                out = ext.commodity_out_edges[j][node]
+                w = rng.random(len(out)) + 1e-9
+                phi_batch[out] = w / w.sum()
+            phi_scalar = phi_batch.copy()
+            traffic_row = rng.random(ext.num_nodes) * 10.0
+            traffic_row[plan.nodes[::3]] = 0.0  # exercise the idle branch
+            delta = rng.random(ext.num_edges) * 5.0
+            blocked = rng.random(ext.num_edges) < 0.15
+            apply_gamma_batch(
+                phi_batch, plan, traffic_row, delta, blocked, 0.08, 1e-12
+            )
+            for node in plan.nodes:
+                apply_gamma_at_node(
+                    phi_scalar,
+                    traffic_row[node],
+                    ext.commodity_out_edges[j][node],
+                    delta,
+                    blocked,
+                    0.08,
+                    1e-12,
+                )
+            assert np.array_equal(phi_batch, phi_scalar)
+
+
+class TestIterationCache:
+    def test_flow_balance_solved_once_per_iteration(self, diamond_ext, monkeypatch):
+        """The whole point of the IterationContext: an N-iteration run solves
+        eq. (3) exactly N + 1 times (once per routing state, including the
+        start), no matter how many consumers read the result."""
+        import repro.core.context as context_mod
+        import repro.core.routing as routing_mod
+        import repro.core.solution as solution_mod
+
+        calls = {"n": 0}
+        real = routing_mod.solve_traffic
+
+        def counting(ext, routing):
+            calls["n"] += 1
+            return real(ext, routing)
+
+        monkeypatch.setattr(context_mod, "solve_traffic", counting)
+        monkeypatch.setattr(solution_mod, "solve_traffic", counting)
+        monkeypatch.setattr(routing_mod, "solve_traffic", counting)
+
+        iterations = 9
+        config = GradientConfig(
+            eta=1e-6, max_iterations=iterations, tolerance=0.0, patience=10**9
+        )
+        result = GradientAlgorithm(diamond_ext, config).run()
+        assert result.iterations == iterations
+        assert calls["n"] == iterations + 1
+
+    def test_record_handles_zero_capacity_node(self):
+        """Regression: a zero-capacity node made the trajectory record
+        divide by zero (``0/0 -> nan`` silently poisoned
+        ``max_utilization``).  Capacities are validated positive at model
+        build time but can be zeroed afterwards to model a drained host, so
+        mutate a freshly built instance, not a shared fixture."""
+        import warnings
+
+        from repro.core.routing import uniform_routing
+
+        ext = build_extended_network(diamond_network())
+        algo = GradientAlgorithm(ext, GradientConfig(eta=0.01))
+        idle_ctx = algo.compute_context(initial_routing(ext))
+        busy_ctx = algo.compute_context(uniform_routing(ext))
+        ext.capacity[ext.node_index("top")] = 0.0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            idle_rec = algo._record(0, idle_ctx)
+            busy_rec = algo._record(0, busy_ctx)
+        # shed-everything routing leaves the drained node idle: no violation
+        assert idle_rec.max_utilization == 0.0
+        # uniform routing pushes flow through it: infinite, never nan
+        assert busy_rec.max_utilization == np.inf

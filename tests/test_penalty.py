@@ -111,6 +111,28 @@ class TestVectorisation:
         assert isinstance(penalty.value(1.0, 10.0), float)
         assert isinstance(penalty.derivative(1.0, 10.0), float)
 
+    @pytest.mark.parametrize("penalty", BARRIERS, ids=lambda p: repr(p))
+    def test_drained_host_zero_capacity(self, penalty):
+        """Regression: ``C = 0`` (a host drained after model build) made the
+        barriers emit divide-by-zero warnings and return ``inf - inf = nan``,
+        poisoning the whole cost.  Drained hosts now charge a steep *finite*
+        linear penalty: zero at idle, a slope far above any real marginal
+        cost otherwise, so downstream gradient arithmetic stays finite."""
+        import warnings
+
+        from repro.core.penalty import _DRAINED_SLOPE
+
+        usage = np.array([0.0, 3.0, 1.0, 4.0])
+        capacity = np.array([0.0, 0.0, 10.0, np.inf])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            values = penalty.value(usage, capacity)
+            derivs = penalty.derivative(usage, capacity)
+        assert values[0] == 0.0 and values[1] == 3.0 * _DRAINED_SLOPE
+        assert derivs[0] == _DRAINED_SLOPE and derivs[1] == _DRAINED_SLOPE
+        # positive-capacity entries are untouched by the drained handling
+        assert np.isfinite(values[2]) and values[3] == 0.0
+
 
 class TestConvexityChecker:
     @pytest.mark.parametrize("penalty", ALL_PENALTIES, ids=lambda p: repr(p))

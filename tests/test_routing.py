@@ -23,8 +23,10 @@ from repro.core.routing import (
     uniform_routing,
     validate_routing,
 )
+from repro.core.routing import solve_traffic_scalar, utilization_profile
 from repro.exceptions import InfeasibleError, RoutingError
-from repro.workloads import diamond_network
+from repro.workloads import diamond_network, random_stream_network
+from repro.workloads.random_network import RandomNetworkSpec
 
 
 class TestInitialRouting:
@@ -153,6 +155,76 @@ class TestTrafficSolver:
             solve_traffic_linear(ext, routing),
             atol=1e-9,
         )
+
+
+def _randomize_phi(ext, rng):
+    """A valid routing with random fractions on every decision node."""
+    routing = uniform_routing(ext)
+    for view in ext.commodities:
+        j = view.index
+        for node in view.node_indices:
+            if node == view.sink:
+                continue
+            out = ext.commodity_out_edges[j][node]
+            if not out:
+                continue
+            weights = rng.random(len(out)) + 1e-9
+            routing.phi[j, out] = weights / weights.sum()
+    validate_routing(ext, routing)
+    return routing
+
+
+class TestVectorizedTrafficSolver:
+    """The per-level scatter solve must reproduce the scalar recursion
+    bit-for-bit (the sync/distributed equivalence rests on this)."""
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_bitwise_matches_scalar_on_random_phi(self, seed):
+        ext = build_extended_network(diamond_network())
+        routing = _randomize_phi(ext, np.random.default_rng(seed))
+        fast = solve_traffic(ext, routing)
+        slow = solve_traffic_scalar(ext, routing)
+        assert np.array_equal(fast, slow)
+
+    @pytest.mark.parametrize("net_seed", [1, 5, 9, 23])
+    def test_bitwise_matches_scalar_on_random_dags(self, net_seed):
+        spec = RandomNetworkSpec(
+            num_nodes=18,
+            num_commodities=2,
+            depth_range=(3, 5),
+            layer_width_range=(2, 4),
+        )
+        ext = build_extended_network(random_stream_network(spec, seed=net_seed))
+        rng = np.random.default_rng(net_seed + 100)
+        for _ in range(5):
+            routing = _randomize_phi(ext, rng)
+            fast = solve_traffic(ext, routing)
+            assert np.array_equal(fast, solve_traffic_scalar(ext, routing))
+            np.testing.assert_allclose(
+                fast, solve_traffic_linear(ext, routing), atol=1e-9
+            )
+
+
+class TestUtilizationProfile:
+    def test_infinite_capacity_counts_as_idle(self):
+        util = utilization_profile(
+            np.array([5.0, 2.0]), np.array([np.inf, 4.0])
+        )
+        np.testing.assert_allclose(util, [0.0, 0.5])
+
+    def test_zero_capacity_no_warning(self):
+        """Regression: zero-capacity nodes used to trip a divide-by-zero."""
+        import warnings
+
+        usage = np.array([0.0, 3.0, 1.0])
+        capacity = np.array([0.0, 0.0, 2.0])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            util = utilization_profile(usage, capacity)
+        assert util[0] == 0.0  # idle node: no load, no violation
+        assert util[1] == np.inf  # loaded node with no capacity
+        assert util[2] == pytest.approx(0.5)
 
 
 class TestResourceUsage:
