@@ -17,11 +17,13 @@ from __future__ import annotations
 
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 from conftest import emit
 
 from repro import build_extended_network
+from repro.obs import Instrumentation, write_metrics_json
 from repro.analysis import TableBuilder
 from repro.core.blocking import compute_blocked_sets
 from repro.core.gradient import GradientAlgorithm, GradientConfig, apply_gamma_at_node
@@ -195,6 +197,27 @@ def test_iteration_core_speedup(benchmark):
         f"(40-node medium instance, {ITERATIONS} iterations, "
         f"median over {n_chunks} interleaved chunks)",
         table.render(),
+    )
+
+    # machine-readable twin of the table above, in the repro.metrics/1
+    # schema, so CI can archive BENCH_*.json artifacts across runs
+    inst = Instrumentation()
+    for ref_chunk, new_chunk in zip(ref_times, new_times):
+        inst.registry.histogram("chunk.reference.seconds").observe(ref_chunk)
+        inst.registry.histogram("chunk.cached.seconds").observe(new_chunk)
+    inst.gauge("speedup_median", speedup)
+    inst.gauge("us_per_iteration.reference", ref_us)
+    inst.gauge("us_per_iteration.cached", new_us)
+    inst.count("iterations", ITERATIONS)
+    results_dir = Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    write_metrics_json(
+        inst,
+        results_dir / "BENCH_ITERCORE.json",
+        bench="TAB-ITERCORE",
+        iterations=ITERATIONS,
+        chunk_size=chunk,
+        smoke=SMOKE,
     )
 
     if not SMOKE:

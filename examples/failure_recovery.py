@@ -96,7 +96,7 @@ def main() -> None:
             [
                 (
                     "utility",
-                    result.iterations.tolist(),
+                    result.recorded_iterations.tolist(),
                     result.utilities.tolist(),
                 )
             ],

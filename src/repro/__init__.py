@@ -14,6 +14,15 @@ Solving (one-liner)::
     from repro import solve
     solution = solve(stream_network)            # distributed gradient
     optimum = solve(stream_network, method="optimal")   # centralized LP/FW
+    result = solve(stream_network, full_result=True)    # RunResult protocol
+
+Observability::
+
+    from repro import Instrumentation, solve
+    inst = Instrumentation()
+    solution = solve(stream_network, instrumentation=inst)
+    inst.export_metrics("metrics.json")   # repro.metrics/1 schema
+    inst.export_trace("trace.json")       # chrome://tracing timeline
 
 Algorithm objects (full control + convergence history)::
 
@@ -23,7 +32,9 @@ Algorithm objects (full control + convergence history)::
 See README.md for a quickstart and DESIGN.md for the paper-to-module map.
 """
 
-from typing import Optional
+import warnings
+from dataclasses import replace
+from typing import Optional, Union
 
 from repro.core import (
     AdmissionController,
@@ -46,8 +57,11 @@ from repro.core import (
     LogUtility,
     Node,
     NodeKind,
+    OptimalResult,
     PhysicalNetwork,
     RoutingState,
+    RunResult,
+    RunResultMixin,
     Solution,
     SqrtUtility,
     StreamNetwork,
@@ -57,6 +71,7 @@ from repro.core import (
     solve_lp,
     solve_optimal,
 )
+from repro.obs import NULL_INSTRUMENTATION, Instrumentation
 from repro.exceptions import (
     ConvergenceError,
     InfeasibleError,
@@ -73,6 +88,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "solve",
+    "Instrumentation",
+    "RunResult",
+    "RunResultMixin",
+    "OptimalResult",
     "AdmissionController",
     "AlphaFairUtility",
     "BackpressureAlgorithm",
@@ -116,11 +135,70 @@ __all__ = [
 ]
 
 
+SOLVE_METHODS = ("gradient", "optimal", "backpressure", "distributed")
+
+# legacy keyword spellings accepted (with a DeprecationWarning) by solve();
+# each maps onto a field of the method's config class
+_LEGACY_GRADIENT_KEYS = (
+    "eta",
+    "max_iterations",
+    "tolerance",
+    "patience",
+    "use_blocking",
+    "record_every",
+    "adaptive_eta",
+    "eps",
+)
+_LEGACY_BACKPRESSURE_KEYS = (
+    "buffer_cap",
+    "slot_length",
+    "max_iterations",
+    "record_every",
+)
+
+
+def _coerce_config(method: str, config, legacy: dict):
+    """Resolve the uniform ``config=`` argument (plus deprecated kwargs)."""
+    cls = BackpressureConfig if method == "backpressure" else GradientConfig
+    allowed = (
+        _LEGACY_BACKPRESSURE_KEYS
+        if method == "backpressure"
+        else _LEGACY_GRADIENT_KEYS
+    )
+    if legacy:
+        unknown = sorted(set(legacy) - set(allowed))
+        if unknown:
+            raise TypeError(
+                f"solve() got unexpected keyword arguments {unknown} "
+                f"for method {method!r}"
+            )
+        warnings.warn(
+            f"passing {sorted(legacy)} to solve() directly is deprecated; "
+            f"pass config={cls.__name__}(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        fields = dict(legacy)
+        eps = fields.pop("eps", None)
+        if eps is not None:
+            fields["cost_model"] = CostModel(eps=eps)
+        config = replace(config, **fields) if config is not None else cls(**fields)
+    if config is not None and not isinstance(config, cls):
+        raise TypeError(
+            f"method {method!r} takes a {cls.__name__}, "
+            f"got {type(config).__name__}"
+        )
+    return config if config is not None else cls()
+
+
 def solve(
     stream_network: StreamNetwork,
     method: str = "gradient",
-    config: Optional[GradientConfig] = None,
-) -> Solution:
+    config: Optional[Union[GradientConfig, BackpressureConfig]] = None,
+    instrumentation: Optional[Instrumentation] = None,
+    full_result: bool = False,
+    **legacy,
+):
     """Solve the joint admission/routing/allocation problem for a model.
 
     Parameters
@@ -128,36 +206,69 @@ def solve(
     stream_network:
         The validated problem instance.
     method:
-        ``"gradient"`` -- the paper's distributed algorithm (default);
+        ``"gradient"`` -- the paper's distributed algorithm, synchronous
+        engine (default);
+        ``"distributed"`` -- the same algorithm executed as an actual
+        message-passing protocol (bit-identical iterates, plus
+        message/byte/round accounting);
         ``"optimal"`` -- the centralized LP / Frank-Wolfe optimum;
-        ``"backpressure"`` -- the baseline of [6] (returns the solution at
-        its final time-averaged rates; no routing state).
+        ``"backpressure"`` -- the baseline of [6] (solution at its final
+        time-averaged rates; no routing state).
     config:
-        Optional :class:`GradientConfig` for the gradient method.
+        One optional config object, uniform across methods: a
+        :class:`GradientConfig` for ``"gradient"``/``"distributed"``, a
+        :class:`BackpressureConfig` for ``"backpressure"``; ``"optimal"``
+        takes none.  (Per-parameter keyword arguments such as ``eta=`` are
+        deprecated aliases that still work but warn.)
+    instrumentation:
+        Optional :class:`repro.obs.Instrumentation` hook collecting phase
+        timings, trajectory events, and (distributed mode) message/byte
+        counts.  Defaults to a zero-overhead no-op.
+    full_result:
+        When True, return the full :class:`~repro.core.result.RunResult`
+        (trajectory + solution) instead of just the
+        :class:`~repro.core.solution.Solution`.  Uniform across methods:
+        ``"optimal"`` returns an :class:`OptimalResult` wrapper.
 
     Returns
     -------
-    Solution
-        Admitted rates, achieved utility, and (when available) the routing.
+    Solution or RunResult
+        The final solution, or the full result when ``full_result=True``.
     """
-    ext = build_extended_network(stream_network)
-    if method == "gradient":
-        result = GradientAlgorithm(ext, config).run()
-        return result.solution
-    if method == "optimal":
-        return solve_optimal(ext)
-    if method == "backpressure":
-        bp = BackpressureAlgorithm(ext).run()
-        return Solution(
-            ext=ext,
-            admitted=bp.average_rates,
-            utility=bp.utility,
-            cost=float("nan"),
-            method="backpressure",
-            routing=None,
-            iterations=bp.iterations,
-        )
-    raise ValueError(
-        f"unknown method {method!r}; expected 'gradient', 'optimal', "
-        f"or 'backpressure'"
+    return _solve_impl(
+        stream_network, method, config, instrumentation, full_result, legacy
     )
+
+
+def _solve_impl(
+    stream_network, method, config, instrumentation, full_result, legacy
+):
+    if method not in SOLVE_METHODS:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {SOLVE_METHODS}"
+        )
+    inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+    ext = build_extended_network(stream_network)
+
+    if method == "optimal":
+        if config is not None or legacy:
+            raise TypeError("method 'optimal' takes no config")
+        with inst.phase("optimal_solve"):
+            solution = solve_optimal(ext)
+        if inst.enabled:
+            inst.gauge("final_utility", solution.utility)
+        result = OptimalResult(solution=solution)
+        return result if full_result else result.solution
+
+    cfg = _coerce_config(method, config, legacy)
+    if method == "gradient":
+        result = GradientAlgorithm(ext, cfg).run(instrumentation=instrumentation)
+    elif method == "distributed":
+        from repro.simulation.runner import DistributedGradientRun
+
+        result = DistributedGradientRun(
+            ext, cfg, instrumentation=instrumentation
+        ).run(cfg.max_iterations, record_every=cfg.record_every)
+    else:  # backpressure
+        result = BackpressureAlgorithm(ext, cfg).run(instrumentation=instrumentation)
+    return result if full_result else result.solution

@@ -12,6 +12,7 @@ from repro.analysis.report import (
     TableBuilder,
     figure4_table,
     solution_table,
+    timing_table,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "TableBuilder",
     "figure4_table",
     "solution_table",
+    "timing_table",
 ]

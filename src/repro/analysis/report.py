@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.analysis.convergence import ConvergenceSummary, summarize_convergence
 from repro.core.solution import Solution
 
-__all__ = ["TableBuilder", "figure4_table", "solution_table"]
+__all__ = ["TableBuilder", "figure4_table", "solution_table", "timing_table"]
 
 
 class TableBuilder:
@@ -57,6 +57,11 @@ class AlgorithmTrajectory:
     iterations: Sequence[int]
     utilities: Sequence[float]
 
+    @classmethod
+    def from_result(cls, label: str, result: Any) -> "AlgorithmTrajectory":
+        """Build from any :class:`~repro.core.result.RunResult`."""
+        return cls(label, result.recorded_iterations, result.utilities)
+
 
 def figure4_table(
     optimal_utility: float,
@@ -72,6 +77,38 @@ def figure4_table(
         lines.append(summary.row(trajectory.label))
     lines.append(f"{'optimal (LP)':<24} {optimal_utility:>10.3f} {'100.0%':>8}")
     return "\n".join(lines)
+
+
+def timing_table(instrumentation: Any, title: str = "Phase timings") -> str:
+    """Per-phase wall-clock table from one instrumented run.
+
+    Consumes the ``phase.<name>.seconds`` histograms of a
+    :class:`~repro.obs.Instrumentation` (``python -m repro profile`` prints
+    this).  Raises :class:`ValueError` on a disabled (null) instrumentation.
+    """
+    if instrumentation.registry is None:
+        raise ValueError("instrumentation is disabled; no timings were recorded")
+    histograms = instrumentation.registry.as_dict()["histograms"]
+    table = TableBuilder(
+        ["phase", "calls", "total s", "mean ms", "p50 ms", "p90 ms", "max ms"]
+    )
+    found = False
+    for name, summary in histograms.items():
+        if not (name.startswith("phase.") and name.endswith(".seconds")):
+            continue
+        found = True
+        table.add_row(
+            name[len("phase.") : -len(".seconds")],
+            summary["count"],
+            summary["sum"],
+            1e3 * summary["mean"],
+            1e3 * summary["p50"],
+            1e3 * summary["p90"],
+            1e3 * summary["max"],
+        )
+    if not found:
+        return f"{title}\n(no phase timings recorded)"
+    return table.render(title=title)
 
 
 def solution_table(solutions: Sequence[Solution], labels: Sequence[str]) -> str:

@@ -3,8 +3,9 @@
 Commands
 --------
 ``generate``   create a random paper-style model and write it as JSON
-``info``       summarise a model file
-``solve``      solve a model (gradient / optimal / backpressure)
+``info``       summarise a model file (``--json`` for machine output)
+``solve``      solve a model (gradient / distributed / optimal / backpressure)
+``profile``    solve with instrumentation on and print phase timings
 ``figure4``    run a quick Figure-4 reproduction
 
 Examples
@@ -12,33 +13,49 @@ Examples
 ::
 
     python -m repro generate --nodes 40 --commodities 3 --seed 7 -o model.json
-    python -m repro info model.json
-    python -m repro solve model.json --method gradient --eta 0.04 -o solution.json
+    python -m repro info model.json --json
+    python -m repro solve model.json --method gradient --step-size 0.04 -o sol.json
+    python -m repro solve model.json --metrics-out m.json --trace-out t.json
+    python -m repro profile model.json --max-iterations 2000
     python -m repro figure4 --seed 7
+
+``solve --json`` emits one JSON document (the ``repro.result/1`` schema,
+plus an embedded ``repro.metrics/1`` registry section when instrumentation
+ran); ``--metrics-out`` / ``--trace-out`` write the full metrics document
+and a ``chrome://tracing`` timeline.  ``--eta`` still works as a deprecated
+alias of ``--step-size``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import warnings
 from typing import List, Optional
 
 from repro import (
-    BackpressureAlgorithm,
     BackpressureConfig,
-    GradientAlgorithm,
     GradientConfig,
-    Solution,
+    Instrumentation,
     build_extended_network,
-    solve_optimal,
+    solve,
 )
-from repro.analysis import AlgorithmTrajectory, figure4_table
+from repro.analysis import AlgorithmTrajectory, figure4_table, timing_table
 from repro.core.marginals import CostModel
-from repro.io import load_network, save_network, save_solution
+from repro.io import (
+    load_network,
+    result_to_dict,
+    save_network,
+    save_solution,
+    utility_to_spec,
+)
 from repro.workloads import paper_figure4_network, random_stream_network
 from repro.workloads.random_network import RandomNetworkSpec
 
 __all__ = ["main"]
+
+INFO_SCHEMA = "repro.info/1"
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -54,6 +71,26 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     network = load_network(args.model)
     ext = build_extended_network(network)
+    if args.json:
+        doc = {
+            "schema": INFO_SCHEMA,
+            "model": args.model,
+            "nodes": len(network.physical.nodes),
+            "links": len(network.physical.links),
+            "commodities": [
+                {
+                    "name": c.name,
+                    "source": c.source,
+                    "sink": c.sink,
+                    "max_rate": c.max_rate,
+                    "utility": utility_to_spec(c.utility),
+                }
+                for c in network.commodities
+            ],
+            "extended": {"nodes": ext.num_nodes, "edges": ext.num_edges},
+        }
+        print(json.dumps(doc, indent=2))
+        return 0
     print(network)
     print(ext.describe())
     for commodity in network.commodities:
@@ -61,40 +98,87 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _solve(args: argparse.Namespace) -> Solution:
-    network = load_network(args.model)
-    ext = build_extended_network(network)
-    if args.method == "gradient":
-        config = GradientConfig(
-            eta=args.eta,
-            max_iterations=args.max_iterations,
-            cost_model=CostModel(eps=args.eps),
-            adaptive_eta=args.adaptive,
-        )
-        return GradientAlgorithm(ext, config).run().solution
+def _make_config(args: argparse.Namespace):
+    """The per-method config object from the shared solver flags."""
     if args.method == "optimal":
-        return solve_optimal(ext)
+        return None
     if args.method == "backpressure":
-        result = BackpressureAlgorithm(
-            ext, BackpressureConfig(max_iterations=args.max_iterations)
-        ).run()
-        return Solution(
-            ext=ext,
-            admitted=result.average_rates,
-            utility=result.utility,
-            cost=float("nan"),
-            method="backpressure",
-            iterations=result.iterations,
-        )
-    raise ValueError(f"unknown method {args.method!r}")
+        kwargs = {"max_iterations": args.max_iterations}
+        if args.record_every is not None:
+            kwargs["record_every"] = args.record_every
+        return BackpressureConfig(**kwargs)
+    kwargs = {
+        "eta": args.step_size,
+        "max_iterations": args.max_iterations,
+        "cost_model": CostModel(eps=args.eps),
+        "adaptive_eta": args.adaptive,
+    }
+    if args.record_every is not None:
+        kwargs["record_every"] = args.record_every
+    return GradientConfig(**kwargs)
+
+
+def _instrumented_solve(args: argparse.Namespace, instrumentation):
+    network = load_network(args.model)
+    return solve(
+        network,
+        method=args.method,
+        config=_make_config(args),
+        instrumentation=instrumentation,
+        full_result=True,
+    )
+
+
+def _export_instrumentation(args: argparse.Namespace, inst, quiet: bool) -> None:
+    if getattr(args, "metrics_out", None):
+        inst.export_metrics(args.metrics_out, model=args.model, method=args.method)
+        if not quiet:
+            print(f"wrote metrics to {args.metrics_out}")
+    if getattr(args, "trace_out", None):
+        inst.export_trace(args.trace_out)
+        if not quiet:
+            print(f"wrote chrome trace to {args.trace_out}")
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    solution = _solve(args)
-    print(solution.summary())
+    instrument = bool(args.json or args.metrics_out or args.trace_out)
+    inst = Instrumentation() if instrument else None
+    result = _instrumented_solve(args, inst)
+    if args.json:
+        doc = result_to_dict(result, model=args.model, method=args.method)
+        doc["metrics"] = inst.metrics_document(include_events=False)
+        print(json.dumps(doc, indent=2))
+    else:
+        print(result.solution.summary())
     if args.output:
-        save_solution(solution, args.output)
-        print(f"wrote solution to {args.output}")
+        save_solution(result.solution, args.output)
+        if not args.json:
+            print(f"wrote solution to {args.output}")
+    if inst is not None:
+        _export_instrumentation(args, inst, quiet=args.json)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    inst = Instrumentation()
+    result = _instrumented_solve(args, inst)
+    solution = result.solution
+    iterations = solution.iterations if solution is not None else None
+    print(
+        timing_table(
+            inst,
+            title=f"Phase timings: {args.method}"
+            + (f", {iterations} iterations" if iterations else ""),
+        )
+    )
+    counters = inst.registry.as_dict()["counters"]
+    if counters:
+        width = max(len(name) for name in counters)
+        print("\nCounters")
+        for name in sorted(counters):
+            print(f"  {name.ljust(width)}  {counters[name]:g}")
+    print(f"\nfinal utility: {result.final_utility:.6g}")
+    _export_instrumentation(args, inst, quiet=False)
     return 0
 
 
@@ -104,34 +188,68 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     network = paper_figure4_network(seed=args.seed)
     ext = build_extended_network(network)
     optimum = solve_lp(ext)
-    gradient = GradientAlgorithm(
-        ext,
-        GradientConfig(eta=0.04, max_iterations=args.max_iterations, record_every=10),
-    ).run()
-    backpressure = BackpressureAlgorithm(
-        ext,
-        BackpressureConfig(
+    gradient = solve(
+        network,
+        config=GradientConfig(
+            eta=0.04, max_iterations=args.max_iterations, record_every=10
+        ),
+        full_result=True,
+    )
+    backpressure = solve(
+        network,
+        method="backpressure",
+        config=BackpressureConfig(
             max_iterations=args.bp_iterations, record_every=200, buffer_cap=1000.0
         ),
-    ).run()
+        full_result=True,
+    )
     print(
         figure4_table(
             optimum.utility,
             [
-                AlgorithmTrajectory(
-                    "gradient (eta=0.04)",
-                    gradient.recorded_iterations,
-                    gradient.utilities,
-                ),
-                AlgorithmTrajectory(
-                    "back-pressure",
-                    backpressure.recorded_iterations,
-                    backpressure.utilities,
-                ),
+                AlgorithmTrajectory.from_result("gradient (eta=0.04)", gradient),
+                AlgorithmTrajectory.from_result("back-pressure", backpressure),
             ],
         )
     )
     return 0
+
+
+def _add_solver_options(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by ``solve`` and ``profile``."""
+    parser.add_argument("model")
+    parser.add_argument(
+        "--method",
+        choices=["gradient", "distributed", "optimal", "backpressure"],
+        default="gradient",
+    )
+    parser.add_argument(
+        "--step-size",
+        "--eta",
+        dest="step_size",
+        type=float,
+        default=0.04,
+        help="gradient step size eta (--eta is a deprecated alias)",
+    )
+    parser.add_argument("--eps", type=float, default=0.2)
+    parser.add_argument("--adaptive", action="store_true", help="adaptive step scale")
+    parser.add_argument("--max-iterations", type=int, default=20000)
+    parser.add_argument(
+        "--record-every",
+        type=int,
+        default=None,
+        help="history sampling period (default: the method's own)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the repro.metrics/1 JSON document here",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write a chrome://tracing timeline here",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,21 +267,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     info = sub.add_parser("info", help="summarise a model file")
     info.add_argument("model")
+    info.add_argument(
+        "--json", action="store_true", help="emit a repro.info/1 JSON document"
+    )
     info.set_defaults(func=_cmd_info)
 
     slv = sub.add_parser("solve", help="solve a model file")
-    slv.add_argument("model")
-    slv.add_argument(
-        "--method",
-        choices=["gradient", "optimal", "backpressure"],
-        default="gradient",
-    )
-    slv.add_argument("--eta", type=float, default=0.04)
-    slv.add_argument("--eps", type=float, default=0.2)
-    slv.add_argument("--adaptive", action="store_true", help="adaptive step scale")
-    slv.add_argument("--max-iterations", type=int, default=20000)
+    _add_solver_options(slv)
     slv.add_argument("-o", "--output", default=None)
+    slv.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a repro.result/1 JSON document instead of the text summary",
+    )
     slv.set_defaults(func=_cmd_solve)
+
+    prof = sub.add_parser(
+        "profile", help="solve with instrumentation on and print phase timings"
+    )
+    _add_solver_options(prof)
+    prof.set_defaults(func=_cmd_profile)
 
     fig = sub.add_parser("figure4", help="quick Figure-4 reproduction")
     fig.add_argument("--seed", type=int, default=7)
@@ -174,7 +297,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _warn_deprecated_flags(argv: List[str]) -> None:
+    # argparse in this Python has no deprecated= support, so the alias is
+    # detected on the raw argv before parsing
+    if any(token == "--eta" or token.startswith("--eta=") for token in argv):
+        warnings.warn(
+            "--eta is deprecated; use --step-size", DeprecationWarning, stacklevel=2
+        )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    _warn_deprecated_flags(argv)
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -13,6 +13,7 @@ from repro.core.marginals import CostModel, evaluate_cost, optimality_residual
 from repro.core.network import Link, Node, NodeKind, PhysicalNetwork
 from repro.core.optimal import solve_concave, solve_lp, solve_optimal
 from repro.core.penalty import InverseBarrier, LogBarrier, QuadraticOverload
+from repro.core.result import OptimalResult, RunResult, RunResultMixin
 from repro.core.routing import (
     RoutingState,
     admitted_rates,
@@ -59,6 +60,9 @@ __all__ = [
     "InverseBarrier",
     "LogBarrier",
     "QuadraticOverload",
+    "OptimalResult",
+    "RunResult",
+    "RunResultMixin",
     "RoutingState",
     "admitted_rates",
     "feasibility_report",

@@ -50,8 +50,11 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.result import RunResultMixin
+from repro.core.solution import Solution
 from repro.core.transform import ExtendedNetwork, ExtEdgeKind
 from repro.exceptions import SimulationError
+from repro.obs.instrumentation import NULL_INSTRUMENTATION
 
 __all__ = [
     "BackpressureConfig",
@@ -96,20 +99,23 @@ class BackpressureRecord:
 
 
 @dataclass
-class BackpressureResult:
+class BackpressureResult(RunResultMixin):
+    """Outcome of a back-pressure run; implements the ``RunResult`` protocol.
+
+    ``costs`` is all-NaN: the baseline optimises a queue potential, not the
+    penalised objective ``A``, so no per-record cost is defined.
+    """
+
     history: List[BackpressureRecord]
     average_rates: np.ndarray  # final time-averaged delivered rate per commodity
     utility: float
     iterations: int
     messages_per_iteration: int
+    solution: Optional[Solution] = None
 
     @property
-    def utilities(self) -> np.ndarray:
-        return np.array([rec.utility for rec in self.history])
-
-    @property
-    def recorded_iterations(self) -> np.ndarray:
-        return np.array([rec.iteration for rec in self.history])
+    def final_utility(self) -> float:
+        return float(self.utility)
 
 
 class BackpressureAlgorithm:
@@ -189,7 +195,14 @@ class BackpressureAlgorithm:
         return g
 
     # -- main loop -----------------------------------------------------------------
-    def run(self) -> BackpressureResult:
+    def run(self, instrumentation=None) -> BackpressureResult:
+        """Run the baseline; ``instrumentation`` records the sampled
+        trajectory, message totals, and whole-run timing (read-only)."""
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        with inst.phase("backpressure_run"):
+            return self._run(inst)
+
+    def _run(self, inst) -> BackpressureResult:
         ext = self.ext
         cfg = self.config
         num_j = ext.num_commodities
@@ -281,23 +294,47 @@ class BackpressureAlgorithm:
                 utility = float(
                     sum(u.value(a) for u, a in zip(utilities, average_rates))
                 )
-                history.append(
-                    BackpressureRecord(
-                        iteration=slot,
-                        utility=utility,
-                        average_rates=average_rates.copy(),
-                        total_queue=float(queues.sum()),
-                    )
+                record = BackpressureRecord(
+                    iteration=slot,
+                    utility=utility,
+                    average_rates=average_rates.copy(),
+                    total_queue=float(queues.sum()),
                 )
+                history.append(record)
+                if inst.enabled:
+                    inst.iteration(
+                        slot, utility=utility, total_queue=record.total_queue
+                    )
 
         average_rates = np.minimum(delivered / (cfg.max_iterations * dt), self.lam)
         final_utility = float(
             sum(u.value(a) for u, a in zip(utilities, average_rates))
         )
+        solution = Solution(
+            ext=ext,
+            admitted=average_rates,
+            utility=final_utility,
+            cost=float("nan"),
+            method="backpressure",
+            routing=None,
+            iterations=cfg.max_iterations,
+        )
+        if inst.enabled:
+            # one buffer-level exchange per neighbour pair per slot: O(1)
+            # rounds, so the totals are exact products, not per-slot counts
+            inst.messages(
+                "buffer_exchange",
+                messages=self.messages_per_iteration * cfg.max_iterations,
+                bytes=24 * self.messages_per_iteration * cfg.max_iterations,
+                rounds=1,
+            )
+            inst.gauge("iterations_total", cfg.max_iterations)
+            inst.gauge("final_utility", final_utility)
         return BackpressureResult(
             history=history,
             average_rates=average_rates,
             utility=final_utility,
             iterations=cfg.max_iterations,
             messages_per_iteration=self.messages_per_iteration,
+            solution=solution,
         )

@@ -32,6 +32,7 @@ from repro.core.marginals import (
 )
 from repro.core.routing import RoutingState, resource_usage, solve_traffic
 from repro.core.transform import ExtendedNetwork
+from repro.obs.instrumentation import NULL_INSTRUMENTATION
 
 __all__ = ["IterationContext", "build_iteration_context"]
 
@@ -64,18 +65,29 @@ def build_iteration_context(
     routing: RoutingState,
     cost_model: CostModel,
     with_derivatives: bool = True,
+    instrumentation=None,
 ) -> IterationContext:
-    """Solve the flow balance once and derive everything an iteration needs."""
-    traffic = solve_traffic(ext, routing)
-    edge_usage, node_usage = resource_usage(ext, routing, traffic)
-    breakdown = evaluate_cost(
-        ext, routing, cost_model, traffic, usage=(edge_usage, node_usage)
-    )
+    """Solve the flow balance once and derive everything an iteration needs.
+
+    ``instrumentation`` (``repro.obs.Instrumentation``) times the two
+    phases -- the flow solve and the derivative chain -- and counts flow
+    solves; it never changes what is computed.
+    """
+    if instrumentation is None:
+        instrumentation = NULL_INSTRUMENTATION
+    with instrumentation.phase("flow_solve"):
+        traffic = solve_traffic(ext, routing)
+        edge_usage, node_usage = resource_usage(ext, routing, traffic)
+        breakdown = evaluate_cost(
+            ext, routing, cost_model, traffic, usage=(edge_usage, node_usage)
+        )
+    instrumentation.count("flow_solves")
     dadf = dadr = delta = None
     if with_derivatives:
-        dadf = link_cost_derivative(ext, cost_model, edge_usage, node_usage)
-        dadr = all_marginal_costs(ext, routing, dadf)
-        delta = all_edge_marginals(ext, dadf, dadr)
+        with instrumentation.phase("derivatives"):
+            dadf = link_cost_derivative(ext, cost_model, edge_usage, node_usage)
+            dadr = all_marginal_costs(ext, routing, dadf)
+            delta = all_edge_marginals(ext, dadf, dadr)
     return IterationContext(
         routing=routing,
         traffic=traffic,

@@ -45,6 +45,7 @@ from repro.core.marginals import (
     marginal_cost_to_destination_scalar,
     optimality_residual,
 )
+from repro.core.result import RunResultMixin
 from repro.core.routing import (
     RoutingState,
     initial_routing,
@@ -56,6 +57,7 @@ from repro.core.routing import (
 from repro.core.solution import Solution, build_solution
 from repro.core.transform import CommodityGammaPlan, ExtendedNetwork
 from repro.exceptions import ConvergenceError
+from repro.obs.instrumentation import NULL_INSTRUMENTATION
 
 __all__ = [
     "GradientConfig",
@@ -322,25 +324,18 @@ class IterationRecord:
 
 
 @dataclass
-class GradientResult:
-    """Outcome of a gradient run: final solution plus the full trajectory."""
+class GradientResult(RunResultMixin):
+    """Outcome of a gradient run: final solution plus the full trajectory.
+
+    Implements the :class:`~repro.core.result.RunResult` protocol; the
+    trajectory accessors (``utilities``, ``costs``, ``recorded_iterations``,
+    ``final_utility``) come from :class:`~repro.core.result.RunResultMixin`.
+    """
 
     solution: Solution
     history: List[IterationRecord]
     converged: bool
     iterations: int
-
-    @property
-    def utilities(self) -> np.ndarray:
-        return np.array([rec.utility for rec in self.history])
-
-    @property
-    def costs(self) -> np.ndarray:
-        return np.array([rec.cost for rec in self.history])
-
-    @property
-    def recorded_iterations(self) -> np.ndarray:
-        return np.array([rec.iteration for rec in self.history])
 
 
 class GradientAlgorithm:
@@ -359,15 +354,20 @@ class GradientAlgorithm:
         self.config = config or GradientConfig()
 
     # -- one application of Gamma ------------------------------------------------
-    def compute_context(self, routing: RoutingState) -> IterationContext:
+    def compute_context(
+        self, routing: RoutingState, instrumentation=None
+    ) -> IterationContext:
         """Solve the flow balance once and cache everything the iteration needs."""
-        return build_iteration_context(self.ext, routing, self.config.cost_model)
+        return build_iteration_context(
+            self.ext, routing, self.config.cost_model, instrumentation=instrumentation
+        )
 
     def step(
         self,
         routing: RoutingState,
         eta: Optional[float] = None,
         context: Optional[IterationContext] = None,
+        instrumentation=None,
     ) -> RoutingState:
         """Apply the update map ``Gamma`` once and return the new routing.
 
@@ -376,19 +376,23 @@ class GradientAlgorithm:
         precomputed :class:`IterationContext` of ``routing``; without it one
         is built here (the run loop always passes the cached one, so each
         iteration solves the flow balance exactly once).
+        ``instrumentation`` times the blocking and Gamma phases; it is
+        read-only and never changes an iterate.
         """
         ext = self.ext
         cfg = self.config
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
         if eta is None:
             eta = cfg.eta
         if context is None:
-            context = self.compute_context(routing)
+            context = self.compute_context(routing, instrumentation=instrumentation)
         new_phi = routing.phi.copy()
 
         if cfg.use_blocking:
-            blocked = compute_all_blocked_sets(
-                ext, routing, context.traffic, context.dadr, context.delta, eta
-            ).reshape(-1)
+            with inst.phase("blocking"):
+                blocked = compute_all_blocked_sets(
+                    ext, routing, context.traffic, context.dadr, context.delta, eta
+                ).reshape(-1)
             if not blocked.any():
                 # an empty blocked set is indistinguishable from no blocking;
                 # let the kernel take its cheaper unblocked path
@@ -397,15 +401,16 @@ class GradientAlgorithm:
             blocked = None
         # one kernel call for every commodity: the merged plan's flattened
         # (j*V + v, j*E + e) ids index the raveled views below
-        apply_gamma_batch(
-            new_phi.reshape(-1),
-            ext.merged_gamma_plan,
-            context.traffic.reshape(-1),
-            context.delta.reshape(-1),
-            blocked,
-            eta,
-            cfg.traffic_tol,
-        )
+        with inst.phase("gamma"):
+            apply_gamma_batch(
+                new_phi.reshape(-1),
+                ext.merged_gamma_plan,
+                context.traffic.reshape(-1),
+                context.delta.reshape(-1),
+                blocked,
+                eta,
+                cfg.traffic_tol,
+            )
 
         return RoutingState(new_phi)
 
@@ -463,15 +468,23 @@ class GradientAlgorithm:
         self,
         routing: Optional[RoutingState] = None,
         callback: Optional[Callable[[int, IterationRecord], None]] = None,
+        instrumentation=None,
     ) -> GradientResult:
         """Iterate ``Gamma`` from a feasible start until convergence.
 
         Starts from the paper's shed-everything routing (strictly feasible)
         unless ``routing`` is given.  Raises :class:`ConvergenceError` if the
         cost diverges (step scale ``eta`` too large).
+
+        ``instrumentation`` (an :class:`repro.obs.Instrumentation`) collects
+        per-phase wall-clock timings, per-iteration trajectory events at the
+        ``record_every`` cadence, and run-level gauges.  It only *reads*
+        already-computed values, so an instrumented run produces bit-identical
+        iterates and performs no extra flow solves.
         """
         ext = self.ext
         cfg = self.config
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
         if routing is None:
             routing = initial_routing(ext)
         else:
@@ -481,10 +494,11 @@ class GradientAlgorithm:
         # One IterationContext per routing state: the step, the convergence
         # check, and the trajectory record all read the same cache, so the
         # flow balance is solved exactly once per iteration.
-        context = self.compute_context(routing)
+        context = self.compute_context(routing, instrumentation=instrumentation)
         history: List[IterationRecord] = []
         record = self._record(0, context)
         history.append(record)
+        self._observe(inst, record)
         if callback:
             callback(0, record)
 
@@ -497,9 +511,14 @@ class GradientAlgorithm:
         eta_ceiling = cfg.eta * cfg.eta_max_factor
 
         for iteration in range(1, cfg.max_iterations + 1):
-            routing = self.step(routing, eta=eta, context=context)
-            iterations_done = iteration
-            context = self.compute_context(routing)
+            with inst.phase("iteration", iteration=iteration):
+                routing = self.step(
+                    routing, eta=eta, context=context, instrumentation=instrumentation
+                )
+                iterations_done = iteration
+                context = self.compute_context(
+                    routing, instrumentation=instrumentation
+                )
 
             cost = context.cost
             if not np.isfinite(cost):
@@ -515,6 +534,7 @@ class GradientAlgorithm:
             if iteration % cfg.record_every == 0 or iteration == cfg.max_iterations:
                 record = self._record(iteration, context)
                 history.append(record)
+                self._observe(inst, record)
                 if callback:
                     callback(iteration, record)
 
@@ -528,7 +548,9 @@ class GradientAlgorithm:
             previous_cost = cost
 
         if history[-1].iteration != iterations_done:
-            history.append(self._record(iterations_done, context))
+            record = self._record(iterations_done, context)
+            history.append(record)
+            self._observe(inst, record)
 
         solution = build_solution(
             ext,
@@ -538,6 +560,11 @@ class GradientAlgorithm:
             iterations=iterations_done,
             traffic=context.traffic,
         )
+        if inst.enabled:
+            inst.gauge("iterations_total", iterations_done)
+            inst.gauge("converged", float(converged))
+            inst.gauge("final_utility", solution.utility)
+            inst.gauge("final_cost", solution.cost)
         return GradientResult(
             solution=solution,
             history=history,
@@ -557,6 +584,18 @@ class GradientAlgorithm:
         """
         return optimality_residual(
             self.ext, routing, self.config.cost_model, context=context
+        )
+
+    @staticmethod
+    def _observe(inst, record: IterationRecord) -> None:
+        """Mirror a trajectory record into the instrumentation event log."""
+        if not inst.enabled:
+            return
+        inst.iteration(
+            record.iteration,
+            cost=record.cost,
+            utility=record.utility,
+            max_utilization=record.max_utilization,
         )
 
     def _record(self, iteration: int, context: IterationContext) -> IterationRecord:

@@ -1,0 +1,124 @@
+"""The common ``RunResult`` protocol every algorithm outcome implements.
+
+Before this module, each algorithm grew its own result shape --
+``GradientResult``, ``DistributedRunResult``, ``BackpressureResult``,
+``OnlineResult`` -- and downstream consumers (``analysis/``, ``cli.py``,
+the benchmarks) branched on which one they held.  The protocol names the
+surface they all share:
+
+``history``
+    The sampled trajectory: a sequence of records, each with at least
+    ``iteration`` and ``utility`` attributes (``cost`` where defined).
+``utilities`` / ``costs`` / ``recorded_iterations``
+    The trajectory as ndarrays (``costs`` is NaN where the method defines
+    no penalised cost, e.g. back-pressure).
+``solution``
+    The final :class:`~repro.core.solution.Solution`.
+``final_utility``
+    The solution's total utility (the paper's objective).
+
+:class:`RunResultMixin` derives the ndarray accessors from ``history`` so
+each result class only stores its records.  :class:`OptimalResult` wraps a
+centralized :class:`Solution` in the same protocol (a one-record history),
+which is what lets ``solve(..., full_result=True)`` return a uniform type
+for every method including ``"optimal"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.solution import Solution
+
+__all__ = ["RunResult", "RunResultMixin", "TrajectoryPoint", "OptimalResult"]
+
+
+@runtime_checkable
+class RunResult(Protocol):
+    """What every algorithm outcome exposes (checkable via ``isinstance``)."""
+
+    @property
+    def history(self) -> Sequence[Any]: ...
+
+    @property
+    def solution(self) -> Solution: ...
+
+    @property
+    def utilities(self) -> np.ndarray: ...
+
+    @property
+    def costs(self) -> np.ndarray: ...
+
+    @property
+    def recorded_iterations(self) -> np.ndarray: ...
+
+    @property
+    def final_utility(self) -> float: ...
+
+
+class RunResultMixin:
+    """Derives the ndarray trajectory accessors from ``self.history``.
+
+    Host classes provide ``history`` (a sequence of records with
+    ``iteration`` and ``utility`` attributes; ``cost`` optional) and
+    ``solution``.
+    """
+
+    @property
+    def utilities(self) -> np.ndarray:
+        return np.array([rec.utility for rec in self.history])
+
+    @property
+    def costs(self) -> np.ndarray:
+        return np.array(
+            [getattr(rec, "cost", float("nan")) for rec in self.history]
+        )
+
+    @property
+    def recorded_iterations(self) -> np.ndarray:
+        return np.array([rec.iteration for rec in self.history])
+
+    @property
+    def final_utility(self) -> float:
+        return float(self.solution.utility)
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """A minimal history record for wrapper results (one sampled point)."""
+
+    iteration: int
+    cost: float
+    utility: float
+
+
+@dataclass
+class OptimalResult(RunResultMixin):
+    """A centralized solution dressed in the ``RunResult`` protocol.
+
+    Exact methods have no trajectory, so ``history`` is the single final
+    point and ``converged`` is always True.
+    """
+
+    solution: Solution
+
+    @property
+    def history(self) -> List[TrajectoryPoint]:
+        return [
+            TrajectoryPoint(
+                iteration=self.iterations,
+                cost=float(self.solution.cost),
+                utility=float(self.solution.utility),
+            )
+        ]
+
+    @property
+    def converged(self) -> bool:
+        return True
+
+    @property
+    def iterations(self) -> int:
+        return int(self.solution.iterations or 0)

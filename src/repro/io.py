@@ -12,8 +12,9 @@ is included in solution exports but is not intended as a re-ingestion format
 from __future__ import annotations
 
 import json
+import math
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.commodity import Commodity, StreamNetwork
 from repro.core.network import PhysicalNetwork
@@ -30,6 +31,10 @@ from repro.exceptions import ModelError
 
 FORMAT_VERSION = 1
 
+# schema id of the RunResult export (trajectory + solution); shares the
+# versioning convention of repro.obs.export.METRICS_SCHEMA
+RESULT_SCHEMA = "repro.result/1"
+
 __all__ = [
     "utility_to_spec",
     "utility_from_spec",
@@ -39,6 +44,8 @@ __all__ = [
     "load_network",
     "solution_to_dict",
     "save_solution",
+    "result_to_dict",
+    "save_result",
 ]
 
 
@@ -199,3 +206,52 @@ def solution_to_dict(solution: Solution) -> Dict[str, Any]:
 
 def save_solution(solution: Solution, path: Union[str, Path]) -> None:
     Path(path).write_text(json.dumps(solution_to_dict(solution), indent=2))
+
+
+def _scalar(value: Any) -> Optional[float]:
+    """Float for JSON, with NaN mapped to null (NaN is not valid JSON)."""
+    value = float(value)
+    return None if math.isnan(value) else value
+
+
+# result attributes outside the RunResult protocol that are worth exporting
+# when the concrete type has them (GradientResult, DistributedRunResult, ...)
+_OPTIONAL_RESULT_FIELDS = (
+    "converged",
+    "average_messages_per_iteration",
+    "average_rounds_per_iteration",
+)
+
+
+def result_to_dict(result: Any, **context: Any) -> Dict[str, Any]:
+    """Serialise any :class:`~repro.core.result.RunResult` to a JSON-safe dict.
+
+    The ``repro.result/1`` document: the recorded trajectory (iterations,
+    utilities, costs), the final solution (via :func:`solution_to_dict`),
+    and method-specific extras when present.  ``context`` entries land under
+    ``"context"``, mirroring the JSON metrics exporter in
+    :mod:`repro.obs.export`.
+    """
+    solution = result.solution
+    doc: Dict[str, Any] = {
+        "format_version": FORMAT_VERSION,
+        "schema": RESULT_SCHEMA,
+        "final_utility": _scalar(result.final_utility),
+        "trajectory": {
+            "iterations": [int(i) for i in result.recorded_iterations],
+            "utilities": [_scalar(u) for u in result.utilities],
+            "costs": [_scalar(c) for c in result.costs],
+        },
+        "solution": solution_to_dict(solution) if solution is not None else None,
+    }
+    if context:
+        doc["context"] = dict(context)
+    for name in _OPTIONAL_RESULT_FIELDS:
+        value = getattr(result, name, None)
+        if value is not None:
+            doc[name] = _scalar(value) if isinstance(value, float) else value
+    return doc
+
+
+def save_result(result: Any, path: Union[str, Path], **context: Any) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result, **context), indent=2))

@@ -1,0 +1,54 @@
+"""Observability subsystem: metrics, phase timers, event log, exporters.
+
+Quick tour::
+
+    from repro.obs import Instrumentation
+
+    inst = Instrumentation()
+    result = GradientAlgorithm(ext, config).run(instrumentation=inst)
+    inst.export_metrics("m.json")     # repro.metrics/1 JSON document
+    inst.export_trace("t.json")       # chrome://tracing / Perfetto timeline
+
+Every run-loop entry point (``GradientAlgorithm.run``,
+``DistributedGradientRun.run``, ``BackpressureAlgorithm.run``,
+``OnlineOrchestrator.run``, the top-level ``repro.solve``) accepts an
+``instrumentation=`` hook and defaults to the zero-overhead
+:data:`NULL_INSTRUMENTATION`.  See ``docs/observability.md`` for metric
+names and schema details.
+"""
+
+from repro.obs.events import Event, EventLog
+from repro.obs.export import (
+    METRICS_SCHEMA,
+    chrome_trace,
+    metrics_document,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.obs.instrumentation import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    NullInstrumentation,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.timers import NULL_SPAN, NullSpan, PhaseSpan
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Event",
+    "EventLog",
+    "PhaseSpan",
+    "NullSpan",
+    "NULL_SPAN",
+    "Instrumentation",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "METRICS_SCHEMA",
+    "metrics_document",
+    "write_metrics_json",
+    "chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,79 @@
+"""Structured event log: the run's timeline, one record per occurrence.
+
+Where the registry (:mod:`repro.obs.registry`) aggregates, the event log
+*remembers*: each record carries a kind, a name, a timestamp relative to the
+instrumentation epoch, an optional duration (phase spans), and free-form
+data.  The four record kinds emitted by the built-in instrumentation points:
+
+``phase``
+    A timed span (``dur`` set): one solver phase such as ``flow_solve``,
+    ``gamma``, or a distributed protocol wave.
+``iteration``
+    One sampled trajectory point (cost, utility, max utilization) at the
+    run's ``record_every`` cadence.
+``messages``
+    Per-phase message/byte/round counts from the distributed runner.
+``event``
+    Anything else: online network events, recovery reports, run milestones.
+
+The log is what the Chrome-trace exporter walks (phases become complete
+``"X"`` slices, the rest instant ``"i"`` marks) and what the JSON metrics
+document embeds verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One record of the run timeline."""
+
+    kind: str  # "phase" | "iteration" | "messages" | "event"
+    name: str
+    ts: float  # seconds since the instrumentation epoch
+    dur: Optional[float] = None  # seconds; phase spans only
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"kind": self.kind, "name": self.name, "ts": self.ts}
+        if self.dur is not None:
+            doc["dur"] = self.dur
+        if self.data:
+            doc["data"] = dict(self.data)
+        return doc
+
+
+class EventLog:
+    """Append-only list of :class:`Event` records."""
+
+    def __init__(self) -> None:
+        self.records: List[Event] = []
+
+    def add(
+        self,
+        kind: str,
+        name: str,
+        ts: float,
+        dur: Optional[float] = None,
+        **data: Any,
+    ) -> Event:
+        event = Event(kind=kind, name=name, ts=ts, dur=dur, data=data)
+        self.records.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> List[Event]:
+        return [e for e in self.records if e.kind == kind]
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [e.as_dict() for e in self.records]

@@ -1,0 +1,138 @@
+"""Exporters: the stable JSON metrics schema and Chrome-trace format.
+
+Two machine-readable views of one instrumented run:
+
+* :func:`metrics_document` / :func:`write_metrics_json` -- the
+  ``repro.metrics/1`` schema: registry sections (counters, gauges,
+  histogram summaries) plus the full event timeline.  The same document
+  shape is embedded by ``python -m repro solve --json`` and written by the
+  benchmark harness (``BENCH_*.json``), so dashboards parse one format.
+* :func:`chrome_trace` / :func:`write_chrome_trace` -- the Trace Event
+  Format consumed by ``chrome://tracing`` / Perfetto: phase spans become
+  complete ``"X"`` slices, everything else instant ``"i"`` marks.
+  Timestamps are microseconds, as the format requires.
+
+Schema stability: additions are allowed within a major schema id; renames
+or removals bump ``repro.metrics/<n>``.  Field names are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.instrumentation import Instrumentation
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "metrics_document",
+    "write_metrics_json",
+    "chrome_trace",
+    "write_chrome_trace",
+]
+
+METRICS_SCHEMA = "repro.metrics/1"
+
+_TRACE_PID = 1
+# one Chrome-trace "thread" lane per record kind keeps the timeline readable
+_TRACE_TIDS = {"phase": 1, "iteration": 2, "messages": 3, "event": 4}
+
+
+def metrics_document(
+    inst: Instrumentation, include_events: bool = True, **extra: Any
+) -> Dict[str, Any]:
+    """The ``repro.metrics/1`` JSON document of one instrumented run.
+
+    ``extra`` entries land under ``"context"`` (run labels, model names,
+    solver parameters -- anything the caller wants alongside the numbers).
+    ``include_events=False`` drops the event timeline, keeping only the
+    registry sections -- the compact form ``--json`` embeds inline.
+    """
+    doc: Dict[str, Any] = {"schema": METRICS_SCHEMA}
+    if extra:
+        doc["context"] = dict(extra)
+    doc.update(inst.registry.as_dict())
+    if include_events:
+        doc["events"] = inst.events.as_dicts()
+    return doc
+
+
+def write_metrics_json(
+    inst: Instrumentation, path: Union[str, Path], **extra: Any
+) -> Dict[str, Any]:
+    doc = metrics_document(inst, **extra)
+    Path(path).write_text(json.dumps(doc, indent=2, default=_json_default))
+    return doc
+
+
+def chrome_trace(inst: Instrumentation) -> Dict[str, Any]:
+    """The run timeline in Chrome Trace Event Format (JSON-object flavour)."""
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _TRACE_PID,
+            "args": {"name": "repro"},
+        }
+    ]
+    for kind, tid in sorted(_TRACE_TIDS.items(), key=lambda kv: kv[1]):
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _TRACE_PID,
+                "tid": tid,
+                "args": {"name": kind},
+            }
+        )
+    for event in inst.events:
+        tid = _TRACE_TIDS.get(event.kind, _TRACE_TIDS["event"])
+        entry: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.kind,
+            "pid": _TRACE_PID,
+            "tid": tid,
+            "ts": event.ts * 1e6,
+        }
+        if event.dur is not None:
+            entry["ph"] = "X"
+            entry["dur"] = event.dur * 1e6
+        else:
+            entry["ph"] = "i"
+            entry["s"] = "t"  # instant scope: thread
+        if event.data:
+            entry["args"] = _jsonable(event.data)
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(inst: Instrumentation, path: Union[str, Path]) -> Dict[str, Any]:
+    doc = chrome_trace(inst)
+    Path(path).write_text(json.dumps(doc, default=_json_default))
+    return doc
+
+
+def _json_default(value: Any) -> Any:
+    """``json.dumps`` fallback for numpy scalars/arrays in event payloads."""
+    if hasattr(value, "item"):
+        return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    return str(value)
+
+
+def _jsonable(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Best-effort JSON coercion for event payloads (numpy scalars etc.)."""
+    out: Dict[str, Any] = {}
+    for key, value in data.items():
+        if isinstance(value, (str, bool, int, float)) or value is None:
+            out[key] = value
+        elif hasattr(value, "item"):  # numpy scalar
+            out[key] = value.item()
+        elif hasattr(value, "tolist"):  # numpy array
+            out[key] = value.tolist()
+        else:
+            out[key] = str(value)
+    return out

@@ -1,0 +1,171 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+The paper's Section-6 evaluation argues in *quantities* -- messages per
+iteration, sequential rounds, iterations to 95% of optimal -- and the
+ROADMAP's perf trajectory argues in *timings*.  Both need a neutral place
+to accumulate numbers that every layer (core engine, distributed runner,
+back-pressure baseline, online orchestrator, benchmarks, CLI) can write to
+without knowing who reads them.  :class:`MetricsRegistry` is that place:
+
+* :class:`Counter` -- monotone totals (``messages_total``, ``flow_solves``);
+* :class:`Gauge` -- last-write-wins values (``final_utility``, ``speedup``);
+* :class:`Histogram` -- full sample distributions with percentile summaries
+  (``phase.gamma.seconds``, per-iteration wall-clock).
+
+Everything is plain Python floats and lists: no locks, no background
+threads, no external deps.  A run's registry serialises via
+:meth:`MetricsRegistry.as_dict` into the stable JSON schema documented in
+``docs/observability.md`` (see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotone non-negative total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def as_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins value (``None`` until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> Optional[float]:
+        return self.value
+
+
+class Histogram:
+    """All observed samples plus summary statistics.
+
+    Samples are kept verbatim (a float list) so exporters can compute exact
+    percentiles; at the instrumentation cadence used here (a handful of
+    observations per iteration) that is a few hundred KB for the longest
+    runs, far below the cost of approximate sketches' complexity.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.samples))
+
+    def percentile(self, q: float) -> float:
+        """Exact nearest-rank percentile, ``q`` in [0, 100]."""
+        if not self.samples:
+            raise ValueError(f"histogram {self.name!r} has no samples")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[int(rank)]
+
+    def summary(self) -> Dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        ordered = sorted(self.samples)
+        n = len(ordered)
+
+        def pct(q: float) -> float:
+            return ordered[max(0, min(n - 1, round(q / 100.0 * (n - 1))))]
+
+        return {
+            "count": n,
+            "sum": float(sum(ordered)),
+            "mean": float(sum(ordered) / n),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": pct(50.0),
+            "p90": pct(90.0),
+            "p99": pct(99.0),
+        }
+
+    def as_dict(self) -> Dict[str, float]:
+        return self.summary()
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics.
+
+    Names are dotted paths by convention (``phase.flow_solve.seconds``,
+    ``messages.forecast``); a name is bound to one metric kind for the
+    registry's lifetime and re-requesting it with a different kind raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get(self, name: str, kind: type):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise ValueError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"requested as {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """The registry as three name-sorted sections (the JSON schema)."""
+        doc: Dict[str, Dict[str, object]] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        section = {Counter: "counters", Gauge: "gauges", Histogram: "histograms"}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            doc[section[type(metric)]][name] = metric.as_dict()
+        return doc

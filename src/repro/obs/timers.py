@@ -1,0 +1,75 @@
+"""Per-phase wall-clock timers with a negligible-overhead no-op default.
+
+Two context managers share one protocol:
+
+* :class:`PhaseSpan` measures a wall-clock interval with a monotonic clock
+  and reports ``(name, start, duration, data)`` to a sink callback on exit;
+* :data:`NULL_SPAN` is a shared, reusable no-op whose ``__enter__`` /
+  ``__exit__`` do nothing -- the disabled path costs two attribute-free
+  method calls (~100 ns), far below the microseconds a single gradient
+  iteration spends in NumPy, which is how instrumentation stays "0% when
+  disabled" without ``if`` pyramids at every call site.
+
+The sink indirection keeps this module free of any knowledge of registries
+or event logs; :class:`repro.obs.instrumentation.Instrumentation` supplies a
+sink that feeds both.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["PhaseSpan", "NullSpan", "NULL_SPAN"]
+
+# sink(name, start_ts, duration, data) -- timestamps in epoch-relative seconds
+SpanSink = Callable[[str, float, float, Dict[str, Any]], None]
+
+
+class PhaseSpan:
+    """Times one ``with`` block and reports it to ``sink`` on exit.
+
+    ``clock`` must be monotonic (defaults to :func:`time.perf_counter`);
+    ``epoch`` is subtracted from raw clock readings so all spans of a run
+    share one origin (what the Chrome-trace timeline requires).
+    """
+
+    __slots__ = ("name", "data", "_sink", "_clock", "_epoch", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        sink: SpanSink,
+        clock: Callable[[], float] = time.perf_counter,
+        epoch: float = 0.0,
+        data: Optional[Dict[str, Any]] = None,
+    ):
+        self.name = name
+        self.data = data or {}
+        self._sink = sink
+        self._clock = clock
+        self._epoch = epoch
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseSpan":
+        self._start = self._clock() - self._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._clock() - self._epoch
+        self._sink(self.name, self._start, end - self._start, self.data)
+
+
+class NullSpan:
+    """The do-nothing span; one shared instance serves every disabled site."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = NullSpan()

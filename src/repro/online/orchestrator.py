@@ -20,6 +20,7 @@ two.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -31,8 +32,10 @@ from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.core.marginals import evaluate_cost
 from repro.core.optimal import solve_optimal
 from repro.core.routing import feasibility_report, initial_routing
+from repro.core.solution import Solution, build_solution
 from repro.core.transform import build_extended_network
 from repro.exceptions import ModelError
+from repro.obs.instrumentation import NULL_INSTRUMENTATION
 from repro.online.events import NetworkEvent
 from repro.online.rebuild import apply_event, emergency_shed, remap_routing
 
@@ -47,6 +50,7 @@ class OnlineRecord:
     utility: float
     max_utilization: float
     event: Optional[str] = None
+    cost: float = float("nan")  # penalised objective A at the sample
 
 
 @dataclass
@@ -68,17 +72,50 @@ class RecoveryReport:
 
 @dataclass
 class OnlineResult:
+    """Outcome of an online run; implements the ``RunResult`` protocol.
+
+    ``history`` is the canonical trajectory accessor (``records`` remains as
+    the founding field name).  The protocol is implemented directly rather
+    than via :class:`~repro.core.result.RunResultMixin` because
+    ``final_utility`` is a dataclass *field* here (the last evaluated
+    utility), which would collide with the mixin's read-only property.
+    """
+
     records: List[OnlineRecord]
     recoveries: List[RecoveryReport]
     final_utility: float
+    solution: Optional[Solution] = None
+
+    @property
+    def history(self) -> List[OnlineRecord]:
+        return self.records
 
     @property
     def utilities(self) -> np.ndarray:
         return np.array([r.utility for r in self.records])
 
     @property
-    def iterations(self) -> np.ndarray:
+    def costs(self) -> np.ndarray:
+        return np.array([r.cost for r in self.records])
+
+    @property
+    def recorded_iterations(self) -> np.ndarray:
         return np.array([r.iteration for r in self.records])
+
+    @property
+    def iterations(self) -> np.ndarray:
+        """Deprecated alias of :attr:`recorded_iterations`.
+
+        Every other result type's ``iterations`` is the *count* of
+        iterations executed; this one returned the recorded iteration
+        numbers.  The protocol spelling removes the ambiguity.
+        """
+        warnings.warn(
+            "OnlineResult.iterations is deprecated; use recorded_iterations",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.recorded_iterations
 
 
 class OnlineOrchestrator:
@@ -103,9 +140,12 @@ class OnlineOrchestrator:
         self.shed_on_event = shed_on_event
         self.record_every = record_every
 
-    def run(self, total_iterations: int) -> OnlineResult:
+    def run(self, total_iterations: int, instrumentation=None) -> OnlineResult:
+        """Run the timeline; ``instrumentation`` logs network events,
+        re-optimisation phases, and the sampled trajectory (read-only)."""
         if total_iterations < 1:
             raise ModelError("total_iterations must be >= 1")
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
         network = self.initial_network
         ext = build_extended_network(network)
         algo = GradientAlgorithm(ext, self.config)
@@ -124,8 +164,17 @@ class OnlineOrchestrator:
                     utility=breakdown.utility,
                     max_utilization=report.max_utilization,
                     event=event_label,
+                    cost=float(breakdown.total),
                 )
             )
+            if inst.enabled:
+                inst.iteration(
+                    iteration,
+                    cost=float(breakdown.total),
+                    utility=breakdown.utility,
+                    max_utilization=report.max_utilization,
+                    **({"event": event_label} if event_label else {}),
+                )
             return breakdown.utility
 
         snapshot(0)
@@ -141,19 +190,28 @@ class OnlineOrchestrator:
                     ext, routing, self.config.cost_model
                 ).utility
 
-                rebuilt = apply_event(network, event)
-                network = rebuilt.network
-                old_ext = ext
-                ext = build_extended_network(network, require_connected=False)
-                if self.warm_start:
-                    routing = remap_routing(old_ext, routing, ext)
-                    if self.shed_on_event:
-                        routing = emergency_shed(ext, routing)
-                else:
-                    routing = initial_routing(ext)
-                algo = GradientAlgorithm(ext, self.config)
+                if inst.enabled:
+                    inst.event(
+                        "network_event",
+                        event=type(event).__name__,
+                        iteration=iteration,
+                        detail=str(event),
+                    )
+                with inst.phase("rebuild", event=type(event).__name__):
+                    rebuilt = apply_event(network, event)
+                    network = rebuilt.network
+                    old_ext = ext
+                    ext = build_extended_network(network, require_connected=False)
+                    if self.warm_start:
+                        routing = remap_routing(old_ext, routing, ext)
+                        if self.shed_on_event:
+                            routing = emergency_shed(ext, routing)
+                    else:
+                        routing = initial_routing(ext)
+                    algo = GradientAlgorithm(ext, self.config)
 
-                new_optimum = solve_optimal(ext).utility
+                with inst.phase("reference_optimum"):
+                    new_optimum = solve_optimal(ext).utility
                 post_utility = snapshot(
                     iteration, event_label=type(event).__name__
                 )
@@ -174,7 +232,8 @@ class OnlineOrchestrator:
                     ext, routing, self.config.cost_model
                 ).total
 
-            routing = algo.step(routing, eta=eta)
+            with inst.phase("iteration", iteration=iteration):
+                routing = algo.step(routing, eta=eta, instrumentation=instrumentation)
             if self.config.adaptive_eta:
                 cost = evaluate_cost(ext, routing, self.config.cost_model).total
                 if cost > previous_cost * (1.0 + 1e-12):
@@ -186,6 +245,13 @@ class OnlineOrchestrator:
                 snapshot(iteration)
 
         final_utility = evaluate_cost(ext, routing, self.config.cost_model).utility
+        solution = build_solution(
+            ext,
+            routing,
+            self.config.cost_model,
+            method="gradient-online",
+            iterations=total_iterations,
+        )
 
         # recovery times: first recorded iteration (after the event) whose
         # utility reaches 95% of the new optimum
@@ -205,6 +271,20 @@ class OnlineOrchestrator:
                     hit - report.at_iteration if hit is not None else None
                 )
 
+        if inst.enabled:
+            inst.gauge("final_utility", final_utility)
+            inst.gauge("events_applied", len(recoveries))
+            for report in recoveries:
+                inst.event(
+                    "recovery",
+                    event=type(report.event).__name__,
+                    at_iteration=report.at_iteration,
+                    utility_dip=report.utility_dip,
+                    iterations_to_95=report.iterations_to_95,
+                )
         return OnlineResult(
-            records=records, recoveries=recoveries, final_utility=final_utility
+            records=records,
+            recoveries=recoveries,
+            final_utility=final_utility,
+            solution=solution,
         )

@@ -231,7 +231,9 @@ class NodeAgent:
         )
 
     # -- phase B: local routing update -----------------------------------------------
-    def apply_routing_update(self) -> None:
+    def apply_routing_update(self, instrumentation=None) -> None:
+        """Apply ``Gamma`` locally; ``instrumentation`` counts kernel calls
+        (``gamma_applies``) so protocol cost per iteration is observable."""
         for j, port in self.ports.items():
             if port.is_sink or len(port.out_edges) < 2:
                 continue
@@ -259,6 +261,8 @@ class NodeAgent:
                 self.eta,
                 self.traffic_tol,
             )
+            if instrumentation is not None and instrumentation.enabled:
+                instrumentation.count("gamma_applies")
 
     # -- phase C: forecast wave --------------------------------------------------------
     def begin_forecast_phase(self, engine: EventEngine) -> None:

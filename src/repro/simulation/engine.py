@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Dict, List, Optional, Protocol, Tuple
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.exceptions import SimulationError
 from repro.simulation.messages import Message
@@ -43,12 +43,15 @@ class EventEngine:
     depth of the phase just executed.
     """
 
-    def __init__(self, hop_latency: int = 1):
+    def __init__(self, hop_latency: int = 1, on_send: Optional[Callable] = None):
         if hop_latency < 1:
             raise SimulationError("hop_latency must be >= 1")
         self.hop_latency = hop_latency
         self.now = 0
         self.metrics = MessageMetrics()
+        # optional external sink called with every sent message -- how the
+        # observability layer taps the wire without the engine knowing it
+        self.on_send = on_send
         self._agents: Dict[int, Agent] = {}
         self._queue: List[Tuple[int, int, int, Message]] = []
         self._sequence = itertools.count()
@@ -71,6 +74,8 @@ class EventEngine:
             self._queue, (self.now + delay, next(self._sequence), target, message)
         )
         self.metrics.on_send(message)
+        if self.on_send is not None:
+            self.on_send(message)
 
     def run_until_idle(self) -> int:
         """Deliver all queued (and consequent) messages; return elapsed ticks."""

@@ -45,6 +45,14 @@ class PhaseMetrics:
     bytes: int
     rounds: int  # sequential depth (engine ticks with unit hop latency)
 
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "rounds": self.rounds,
+        }
+
 
 @dataclass
 class IterationMetrics:
@@ -64,3 +72,13 @@ class IterationMetrics:
     @property
     def bytes(self) -> int:
         return sum(p.bytes for p in self.phases)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe form used by the metrics exporters and ``--json``."""
+        return {
+            "iteration": self.iteration,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "rounds": self.rounds,
+            "phases": [p.as_dict() for p in self.phases],
+        }

@@ -19,10 +19,12 @@ import numpy as np
 
 from repro.core.context import IterationContext, build_iteration_context
 from repro.core.gradient import GradientConfig, IterationRecord
+from repro.core.result import RunResultMixin
 from repro.core.routing import RoutingState, initial_routing, utilization_profile
 from repro.core.solution import Solution, build_solution
 from repro.core.transform import ExtendedNetwork
 from repro.exceptions import SimulationError
+from repro.obs.instrumentation import NULL_INSTRUMENTATION
 from repro.simulation.agent import NodeAgent
 from repro.simulation.engine import EventEngine
 from repro.simulation.metrics import IterationMetrics, PhaseMetrics
@@ -31,32 +33,20 @@ __all__ = ["DistributedRunResult", "DistributedGradientRun"]
 
 
 @dataclass
-class DistributedRunResult:
+class DistributedRunResult(RunResultMixin):
     """Outcome of a distributed run: solution, trajectory, protocol metrics.
 
-    The trajectory mirrors :class:`repro.core.gradient.GradientResult`: a
-    ``history`` of :class:`~repro.core.gradient.IterationRecord` entries plus
-    the same ndarray accessors (``utilities``, ``costs``,
-    ``recorded_iterations``), so analysis code can consume either result
-    type interchangeably.
+    Implements the :class:`~repro.core.result.RunResult` protocol with the
+    same ``history`` record type as
+    :class:`repro.core.gradient.GradientResult`, so analysis code consumes
+    either result interchangeably; ``metrics`` adds what only a real
+    message-passing execution measures (messages, bytes, rounds).
     """
 
     solution: Solution
     iterations: int
     history: List[IterationRecord]
     metrics: List[IterationMetrics] = field(default_factory=list)
-
-    @property
-    def utilities(self) -> np.ndarray:
-        return np.array([rec.utility for rec in self.history])
-
-    @property
-    def costs(self) -> np.ndarray:
-        return np.array([rec.cost for rec in self.history])
-
-    @property
-    def recorded_iterations(self) -> np.ndarray:
-        return np.array([rec.iteration for rec in self.history])
 
     @property
     def average_rounds_per_iteration(self) -> float:
@@ -79,9 +69,13 @@ class DistributedGradientRun:
         ext: ExtendedNetwork,
         config: Optional[GradientConfig] = None,
         hop_latency: int = 1,
+        instrumentation=None,
     ):
         self.ext = ext
         self.config = config or GradientConfig()
+        self.inst = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
         self.engine = EventEngine(hop_latency=hop_latency)
         self.agents: List[NodeAgent] = []
         for node in range(ext.num_nodes):
@@ -112,15 +106,21 @@ class DistributedGradientRun:
         before_msgs = self.engine.metrics.messages_total
         before_bytes = self.engine.metrics.bytes_total
         self.engine.reset_clock()
-        for agent in self.agents:
-            begin(agent)
-        rounds = self.engine.run_until_idle()
-        return PhaseMetrics(
+        with self.inst.phase(name):
+            for agent in self.agents:
+                begin(agent)
+            rounds = self.engine.run_until_idle()
+        metrics = PhaseMetrics(
             name=name,
             messages=self.engine.metrics.messages_total - before_msgs,
             bytes=self.engine.metrics.bytes_total - before_bytes,
             rounds=rounds,
         )
+        if self.inst.enabled:
+            self.inst.messages(
+                name, messages=metrics.messages, bytes=metrics.bytes, rounds=rounds
+            )
+        return metrics
 
     def forecast_phase(self) -> PhaseMetrics:
         return self._run_phase(
@@ -133,8 +133,9 @@ class DistributedGradientRun:
         )
 
     def update_phase(self) -> PhaseMetrics:
-        for agent in self.agents:
-            agent.apply_routing_update()
+        with self.inst.phase("update"):
+            for agent in self.agents:
+                agent.apply_routing_update(instrumentation=self.inst)
         return PhaseMetrics(name="update", messages=0, bytes=0, rounds=0)
 
     def iterate(self, iteration: int) -> IterationMetrics:
@@ -165,18 +166,32 @@ class DistributedGradientRun:
         self.load_routing(routing)
         self.forecast_phase()  # seed t and f
 
+        inst = self.inst
         history: List[IterationRecord] = []
         all_metrics: List[IterationMetrics] = []
         context: Optional[IterationContext] = None
         for iteration in range(1, iterations + 1):
-            all_metrics.append(self.iterate(iteration))
+            with inst.phase("iteration", iteration=iteration):
+                all_metrics.append(self.iterate(iteration))
             if iteration % record_every == 0 or iteration == iterations:
                 snapshot = self.export_routing()
                 # one flow solve per record; no derivatives needed here
                 context = build_iteration_context(
-                    self.ext, snapshot, self.config.cost_model, with_derivatives=False
+                    self.ext,
+                    snapshot,
+                    self.config.cost_model,
+                    with_derivatives=False,
+                    instrumentation=inst,
                 )
-                history.append(self._record(iteration, context))
+                record = self._record(iteration, context)
+                history.append(record)
+                if inst.enabled:
+                    inst.iteration(
+                        iteration,
+                        cost=record.cost,
+                        utility=record.utility,
+                        max_utilization=record.max_utilization,
+                    )
 
         # the loop always records iteration == iterations, so the last
         # context describes the final routing state; reuse its flow solve
@@ -188,6 +203,13 @@ class DistributedGradientRun:
             iterations=iterations,
             traffic=context.traffic,
         )
+        if inst.enabled:
+            inst.gauge("iterations_total", iterations)
+            inst.gauge("final_utility", solution.utility)
+            inst.gauge(
+                "rounds_per_iteration",
+                float(np.mean([m.rounds for m in all_metrics])),
+            )
         return DistributedRunResult(
             solution=solution,
             iterations=iterations,

@@ -48,6 +48,14 @@ class TestInfo:
         assert "StreamNetwork" in out
         assert "S1" in out and "S2" in out
 
+    def test_json_output(self, model_path, capsys):
+        assert main(["info", str(model_path), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.info/1"
+        assert doc["nodes"] > 0 and doc["links"] > 0
+        assert all("utility" in c for c in doc["commodities"])
+        assert doc["extended"]["edges"] > doc["links"]
+
 
 class TestSolve:
     def test_gradient_solve_writes_solution(self, model_path, tmp_path, capsys):
@@ -103,6 +111,96 @@ class TestSolve:
     def test_unknown_method_rejected(self, model_path):
         with pytest.raises(SystemExit):
             main(["solve", str(model_path), "--method", "magic"])
+
+    def test_json_output_embeds_metrics(self, model_path, capsys):
+        code = main(
+            ["solve", str(model_path), "--max-iterations", "200", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.result/1"
+        assert doc["solution"]["method"] == "gradient"
+        assert len(doc["trajectory"]["iterations"]) >= 1
+        assert doc["metrics"]["schema"] == "repro.metrics/1"
+        assert doc["metrics"]["counters"]["flow_solves"] >= 1
+
+    def test_metrics_and_trace_out(self, model_path, tmp_path, capsys):
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        code = main(
+            [
+                "solve",
+                str(model_path),
+                "--max-iterations",
+                "100",
+                "--metrics-out",
+                str(metrics),
+                "--trace-out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        mdoc = json.loads(metrics.read_text())
+        assert mdoc["schema"] == "repro.metrics/1"
+        assert "phase.iteration.seconds" in mdoc["histograms"]
+        assert mdoc["events"]  # full timeline in the file form
+        tdoc = json.loads(trace.read_text())
+        assert any(e.get("ph") == "X" for e in tdoc["traceEvents"])
+
+    def test_distributed_method(self, model_path, capsys):
+        code = main(
+            [
+                "solve",
+                str(model_path),
+                "--method",
+                "distributed",
+                "--max-iterations",
+                "10",
+                "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["average_messages_per_iteration"] > 0
+        assert doc["metrics"]["counters"]["messages_total"] > 0
+
+    def test_step_size_flag(self, model_path, capsys):
+        code = main(
+            [
+                "solve",
+                str(model_path),
+                "--step-size",
+                "0.05",
+                "--max-iterations",
+                "50",
+            ]
+        )
+        assert code == 0
+
+    def test_eta_alias_warns(self, model_path, capsys):
+        with pytest.warns(DeprecationWarning, match="--step-size"):
+            code = main(
+                [
+                    "solve",
+                    str(model_path),
+                    "--eta",
+                    "0.05",
+                    "--max-iterations",
+                    "50",
+                ]
+            )
+        assert code == 0
+
+
+class TestProfile:
+    def test_prints_phase_timings(self, model_path, capsys):
+        code = main(["profile", str(model_path), "--max-iterations", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase timings" in out
+        assert "flow_solve" in out and "gamma" in out
+        assert "flow_solves" in out  # counters section
+        assert "final utility" in out
 
 
 class TestParser:
