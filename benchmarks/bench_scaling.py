@@ -14,8 +14,11 @@ landscape, not directly by N.
 
 from __future__ import annotations
 
+import os
 import time
+from pathlib import Path
 
+import numpy as np
 from conftest import emit
 
 from repro import (
@@ -26,12 +29,25 @@ from repro import (
 )
 from repro.analysis import TableBuilder, iterations_to_fraction
 from repro.core.routing import initial_routing
+from repro.obs import Instrumentation, write_metrics_json
+from repro.parallel import ParallelBackend
 from repro.simulation import DistributedGradientRun
 from repro.workloads import random_stream_network
 from repro.workloads.random_network import RandomNetworkSpec
 
 SIZES = [10, 20, 40, 80]
 MAX_ITERATIONS = 3000
+
+WORKER_SWEEP = [1, 2, 4]
+PARALLEL_ITERATIONS = 120
+MIN_PARALLEL_SPEEDUP = 2.0  # at 4 workers, on the dedicated bench host
+
+# CI smoke mode, matching the ITERCORE_SMOKE precedent: shared runners have
+# neither 4 dedicated cores nor a stable clock, so PARALLEL_SMOKE=1 shrinks
+# the run and keeps only the correctness half (full-trajectory bit-identity)
+PARALLEL_SMOKE = os.environ.get("PARALLEL_SMOKE", "") == "1"
+if PARALLEL_SMOKE:
+    PARALLEL_ITERATIONS = 30
 
 
 def _make_ext(num_nodes: int):
@@ -122,3 +138,137 @@ def test_scaling_with_network_size(benchmark):
     # iterations-to-95% stays within one order of magnitude across sizes
     hits = [row["hit95"] for row in rows]
     assert max(hits) <= 20 * min(hits)
+
+
+def _make_parallel_ext():
+    """The sharding-friendly instance: wide and commodity-rich.
+
+    Per-commodity work is the parallel axis, so the instance carries more
+    commodities than the TAB-SCALE sizes do; 80 physical nodes keeps each
+    commodity's per-iteration kernels heavy enough that the two IPC round
+    trips per iteration do not dominate.
+    """
+    spec = RandomNetworkSpec(
+        num_nodes=24 if PARALLEL_SMOKE else 80,
+        num_commodities=4 if PARALLEL_SMOKE else 8,
+        depth_range=(3, 4) if PARALLEL_SMOKE else (4, 6),
+        layer_width_range=(2, 3) if PARALLEL_SMOKE else (3, 5),
+    )
+    return build_extended_network(random_stream_network(spec, seed=17))
+
+
+class _BackendPipeline:
+    """One gradient pipeline (serial or parallel), advanced chunk by chunk."""
+
+    def __init__(self, ext, config, backend=None):
+        self.algo = GradientAlgorithm(ext, config, backend=backend)
+        self.routing = initial_routing(ext)
+        self.context = self.algo.compute_context(self.routing)
+        self.trajectory = [self.routing.phi.copy()]
+
+    def advance(self, iterations):
+        algo = self.algo
+        start = time.perf_counter()
+        for _ in range(iterations):
+            self.routing = algo.step(self.routing, context=self.context)
+            self.context = algo.compute_context(self.routing)
+            self.trajectory.append(self.routing.phi.copy())
+        return time.perf_counter() - start
+
+
+def test_parallel_worker_scaling(benchmark):
+    """TAB-PARALLEL: the process-parallel backend vs the serial engine.
+
+    Correctness always: every worker count's full phi trajectory must be
+    bit-identical to serial.  Timing only outside PARALLEL_SMOKE: >= 2x
+    per-iteration speedup at 4 workers on the dedicated bench host.
+    """
+    ext = _make_parallel_ext()
+    config = GradientConfig(eta=0.04)
+    chunk = 10
+    n_chunks = PARALLEL_ITERATIONS // chunk
+
+    def run_experiment():
+        backends = {w: ParallelBackend(workers=w) for w in WORKER_SWEEP}
+        try:
+            # warm every pipeline: pool start, lazy plans, allocator churn
+            _BackendPipeline(ext, config).advance(2)
+            for backend in backends.values():
+                _BackendPipeline(ext, config, backend=backend).advance(2)
+            serial = _BackendPipeline(ext, config)
+            parallel = {
+                w: _BackendPipeline(ext, config, backend=backends[w])
+                for w in WORKER_SWEEP
+            }
+            # interleaved chunks: each serial/parallel pair runs back to back
+            # under (nearly) the same machine conditions, so per-chunk ratios
+            # are robust to CPU frequency drift across the run
+            serial_times = []
+            parallel_times = {w: [] for w in WORKER_SWEEP}
+            for _ in range(n_chunks):
+                serial_times.append(serial.advance(chunk))
+                for w in WORKER_SWEEP:
+                    parallel_times[w].append(parallel[w].advance(chunk))
+            return serial, parallel, serial_times, parallel_times
+        finally:
+            for backend in backends.values():
+                backend.close()
+
+    serial, parallel, serial_times, parallel_times = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+
+    # correctness first: sharding changes no iterate, bit for bit
+    for w in WORKER_SWEEP:
+        assert len(serial.trajectory) == len(parallel[w].trajectory)
+        for k, (a, b) in enumerate(zip(serial.trajectory, parallel[w].trajectory)):
+            assert np.array_equal(a, b), f"workers={w}: iterate {k} diverged"
+
+    serial_us = 1e6 * sum(serial_times) / PARALLEL_ITERATIONS
+    speedups = {}
+    table = TableBuilder(["backend", "us/iteration", "median speedup"])
+    table.add_row("serial", f"{serial_us:.0f}", "1.0x")
+    for w in WORKER_SWEEP:
+        us = 1e6 * sum(parallel_times[w]) / PARALLEL_ITERATIONS
+        speedups[w] = float(
+            np.median(np.asarray(serial_times) / np.asarray(parallel_times[w]))
+        )
+        table.add_row(f"parallel x{w}", f"{us:.0f}", f"{speedups[w]:.2f}x")
+    emit(
+        "TAB-PARALLEL: process-parallel backend vs serial "
+        f"({ext.num_commodities} commodities, {PARALLEL_ITERATIONS} iterations, "
+        f"median over {n_chunks} interleaved chunks"
+        + (", SMOKE)" if PARALLEL_SMOKE else ")"),
+        table.render(),
+    )
+
+    # machine-readable twin in the repro.metrics/1 schema for CI artifacts
+    # and the benchmark regression gate
+    inst = Instrumentation()
+    for chunk_s in serial_times:
+        inst.registry.histogram("chunk.serial.seconds").observe(chunk_s)
+    inst.gauge("us_per_iteration.serial", serial_us)
+    for w in WORKER_SWEEP:
+        for chunk_s in parallel_times[w]:
+            inst.registry.histogram(f"chunk.workers{w}.seconds").observe(chunk_s)
+        inst.gauge(f"speedup_median.workers{w}", speedups[w])
+        inst.gauge(
+            f"us_per_iteration.workers{w}",
+            1e6 * sum(parallel_times[w]) / PARALLEL_ITERATIONS,
+        )
+    inst.count("iterations", PARALLEL_ITERATIONS)
+    inst.count("commodities", ext.num_commodities)
+    results_dir = Path(__file__).resolve().parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    write_metrics_json(
+        inst,
+        results_dir / "BENCH_PARALLEL.json",
+        bench="TAB-PARALLEL",
+        iterations=PARALLEL_ITERATIONS,
+        chunk_size=chunk,
+        workers_sweep=WORKER_SWEEP,
+        smoke=PARALLEL_SMOKE,
+    )
+
+    if not PARALLEL_SMOKE:
+        assert speedups[4] >= MIN_PARALLEL_SPEEDUP

@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare fresh BENCH_*.json against baselines.
+
+CI produces fresh ``benchmarks/results/BENCH_*.json`` documents (the
+``repro.metrics/1`` schema) on every run; this script compares them against
+the committed ``benchmarks/baselines/`` copies and fails only on structural
+regressions a shared runner can reliably detect:
+
+* a fresh document or a baseline counter/gauge/histogram going missing,
+* an *invariant* (iteration counts, solve-call counters, histogram sample
+  counts -- anything that is a deterministic property of the algorithm, not
+  of the clock) drifting by more than ``--tolerance`` in either direction.
+
+Wall-clock quantities are deliberately **not** gated: shared CI runners are
+noisy-neighbour machines, so every metric whose name mentions ``seconds``,
+``us_per`` or ``speedup`` is reported but never failed on.  Dedicated-host
+timing enforcement lives in the benches themselves (their smoke-mode env
+vars disable it in CI, see ITERCORE_SMOKE / PARALLEL_SMOKE).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --results benchmarks/results --baselines benchmarks/baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List
+
+GATED_DOCUMENTS = ["BENCH_ITERCORE.json", "BENCH_PARALLEL.json"]
+
+# substrings marking wall-clock metrics: reported, never gated
+TIMING_MARKERS = ("seconds", "us_per", "speedup")
+
+
+def _is_timing(name: str) -> bool:
+    return any(marker in name for marker in TIMING_MARKERS)
+
+
+def _ratio_ok(fresh: float, base: float, tolerance: float) -> bool:
+    """Two invariants agree if neither exceeds the other by > tolerance x."""
+    if base == 0.0 or fresh == 0.0:
+        return base == fresh
+    ratio = fresh / base
+    return 1.0 / tolerance <= ratio <= tolerance
+
+
+def _load(path: Path) -> Dict[str, Any]:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def compare_document(
+    name: str, fresh: Dict[str, Any], base: Dict[str, Any], tolerance: float
+) -> List[str]:
+    """All regressions of one fresh document vs its baseline."""
+    problems: List[str] = []
+
+    if fresh.get("schema") != base.get("schema"):
+        problems.append(
+            f"{name}: schema changed "
+            f"({base.get('schema')!r} -> {fresh.get('schema')!r})"
+        )
+        return problems
+
+    fresh_smoke = bool(fresh.get("context", {}).get("smoke", False))
+    base_smoke = bool(base.get("context", {}).get("smoke", False))
+    if fresh_smoke != base_smoke:
+        problems.append(
+            f"{name}: smoke-mode mismatch (baseline smoke={base_smoke}, "
+            f"fresh smoke={fresh_smoke}); regenerate the baseline with the "
+            f"same *_SMOKE environment the CI job uses"
+        )
+        return problems
+
+    for counter, base_value in base.get("counters", {}).items():
+        if _is_timing(counter):
+            continue
+        fresh_value = fresh.get("counters", {}).get(counter)
+        if fresh_value is None:
+            problems.append(f"{name}: counter {counter!r} disappeared")
+        elif not _ratio_ok(float(fresh_value), float(base_value), tolerance):
+            problems.append(
+                f"{name}: counter {counter!r} moved {base_value:g} -> "
+                f"{fresh_value:g} (beyond {tolerance:g}x tolerance)"
+            )
+
+    for gauge, base_value in base.get("gauges", {}).items():
+        if _is_timing(gauge):
+            continue
+        fresh_value = fresh.get("gauges", {}).get(gauge)
+        if fresh_value is None:
+            problems.append(f"{name}: gauge {gauge!r} disappeared")
+        elif not _ratio_ok(float(fresh_value), float(base_value), tolerance):
+            problems.append(
+                f"{name}: gauge {gauge!r} moved {base_value:g} -> "
+                f"{fresh_value:g} (beyond {tolerance:g}x tolerance)"
+            )
+
+    # histograms: the sample *count* is an algorithmic invariant (how many
+    # chunks ran); the observed values are wall-clock and stay ungated
+    for hist, base_summary in base.get("histograms", {}).items():
+        fresh_summary = fresh.get("histograms", {}).get(hist)
+        if fresh_summary is None:
+            problems.append(f"{name}: histogram {hist!r} disappeared")
+            continue
+        base_count = float(base_summary.get("count", 0))
+        fresh_count = float(fresh_summary.get("count", 0))
+        if not _ratio_ok(fresh_count, base_count, tolerance):
+            problems.append(
+                f"{name}: histogram {hist!r} sample count moved "
+                f"{base_count:g} -> {fresh_count:g} "
+                f"(beyond {tolerance:g}x tolerance)"
+            )
+
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=Path(__file__).resolve().parent / "results",
+        help="directory holding the freshly produced BENCH_*.json",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=Path,
+        default=Path(__file__).resolve().parent / "baselines",
+        help="directory holding the committed baseline BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=2.0,
+        help="max allowed ratio (either direction) for gated invariants",
+    )
+    args = parser.parse_args(argv)
+
+    if args.tolerance < 1.0:
+        parser.error("--tolerance must be >= 1.0")
+
+    problems: List[str] = []
+    checked = 0
+    for document in GATED_DOCUMENTS:
+        baseline_path = args.baselines / document
+        results_path = args.results / document
+        if not baseline_path.exists():
+            print(f"note: no baseline for {document}; skipping")
+            continue
+        if not results_path.exists():
+            problems.append(
+                f"{document}: baseline exists but the fresh result is missing "
+                f"(expected {results_path}) -- did the bench fail to run?"
+            )
+            continue
+        checked += 1
+        problems.extend(
+            compare_document(
+                document, _load(results_path), _load(baseline_path), args.tolerance
+            )
+        )
+
+    if problems:
+        print(f"benchmark regression gate: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  FAIL {problem}")
+        return 1
+    print(
+        f"benchmark regression gate: OK "
+        f"({checked} document(s) within {args.tolerance:g}x tolerance)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

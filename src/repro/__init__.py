@@ -76,6 +76,7 @@ from repro.exceptions import (
     ConvergenceError,
     InfeasibleError,
     ModelError,
+    ParallelExecutionError,
     RoutingError,
     SimulationError,
     SolverError,
@@ -129,6 +130,7 @@ __all__ = [
     "RoutingError",
     "InfeasibleError",
     "ConvergenceError",
+    "ParallelExecutionError",
     "SolverError",
     "SimulationError",
     "__version__",
@@ -197,6 +199,7 @@ def solve(
     config: Optional[Union[GradientConfig, BackpressureConfig]] = None,
     instrumentation: Optional[Instrumentation] = None,
     full_result: bool = False,
+    workers: Optional[int] = None,
     **legacy,
 ):
     """Solve the joint admission/routing/allocation problem for a model.
@@ -229,6 +232,12 @@ def solve(
         (trajectory + solution) instead of just the
         :class:`~repro.core.solution.Solution`.  Uniform across methods:
         ``"optimal"`` returns an :class:`OptimalResult` wrapper.
+    workers:
+        Process-parallel execution (``"gradient"``/``"distributed"`` only):
+        shard the per-commodity iteration work across this many worker
+        processes via :class:`repro.parallel.ParallelBackend`.  Iterates are
+        bit-identical to the serial default (``None``); see
+        ``docs/parallelism.md`` for when this pays off.
 
     Returns
     -------
@@ -236,12 +245,14 @@ def solve(
         The final solution, or the full result when ``full_result=True``.
     """
     return _solve_impl(
-        stream_network, method, config, instrumentation, full_result, legacy
+        stream_network, method, config, instrumentation, full_result, legacy,
+        workers=workers,
     )
 
 
 def _solve_impl(
-    stream_network, method, config, instrumentation, full_result, legacy
+    stream_network, method, config, instrumentation, full_result, legacy,
+    workers=None,
 ):
     if method not in SOLVE_METHODS:
         raise ValueError(
@@ -249,6 +260,12 @@ def _solve_impl(
         )
     inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
     ext = build_extended_network(stream_network)
+
+    if workers is not None and method not in ("gradient", "distributed"):
+        raise TypeError(
+            f"workers= applies only to the gradient/distributed methods, "
+            f"not {method!r}"
+        )
 
     if method == "optimal":
         if config is not None or legacy:
@@ -261,14 +278,27 @@ def _solve_impl(
         return result if full_result else result.solution
 
     cfg = _coerce_config(method, config, legacy)
-    if method == "gradient":
-        result = GradientAlgorithm(ext, cfg).run(instrumentation=instrumentation)
-    elif method == "distributed":
-        from repro.simulation.runner import DistributedGradientRun
+    backend = None
+    if workers is not None:
+        from repro.parallel import ParallelBackend
 
-        result = DistributedGradientRun(
-            ext, cfg, instrumentation=instrumentation
-        ).run(cfg.max_iterations, record_every=cfg.record_every)
-    else:  # backpressure
-        result = BackpressureAlgorithm(ext, cfg).run(instrumentation=instrumentation)
+        backend = ParallelBackend(workers=workers)
+    try:
+        if method == "gradient":
+            result = GradientAlgorithm(ext, cfg, backend=backend).run(
+                instrumentation=instrumentation
+            )
+        elif method == "distributed":
+            from repro.simulation.runner import DistributedGradientRun
+
+            result = DistributedGradientRun(
+                ext, cfg, instrumentation=instrumentation, backend=backend
+            ).run(cfg.max_iterations, record_every=cfg.record_every)
+        else:  # backpressure
+            result = BackpressureAlgorithm(ext, cfg).run(
+                instrumentation=instrumentation
+            )
+    finally:
+        if backend is not None:
+            backend.close()
     return result if full_result else result.solution

@@ -16,7 +16,8 @@ Examples
     python -m repro info model.json --json
     python -m repro solve model.json --method gradient --step-size 0.04 -o sol.json
     python -m repro solve model.json --metrics-out m.json --trace-out t.json
-    python -m repro profile model.json --max-iterations 2000
+    python -m repro solve model.json --workers 4          # process-parallel
+    python -m repro profile model.json --max-iterations 2000 --workers 2
     python -m repro figure4 --seed 7
 
 ``solve --json`` emits one JSON document (the ``repro.result/1`` schema,
@@ -126,6 +127,7 @@ def _instrumented_solve(args: argparse.Namespace, instrumentation):
         config=_make_config(args),
         instrumentation=instrumentation,
         full_result=True,
+        workers=args.workers,
     )
 
 
@@ -234,6 +236,13 @@ def _add_solver_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eps", type=float, default=0.2)
     parser.add_argument("--adaptive", action="store_true", help="adaptive step scale")
     parser.add_argument("--max-iterations", type=int, default=20000)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard per-commodity work across N worker processes "
+        "(gradient/distributed; iterates stay bit-identical to serial)",
+    )
     parser.add_argument(
         "--record-every",
         type=int,

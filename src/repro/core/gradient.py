@@ -33,11 +33,8 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.core.blocking import (
-    compute_all_blocked_sets,
-    compute_blocked_sets_scalar,
-)
-from repro.core.context import IterationContext, build_iteration_context
+from repro.core.blocking import compute_blocked_sets_scalar
+from repro.core.context import IterationContext
 from repro.core.marginals import (
     CostModel,
     edge_marginals,
@@ -349,18 +346,28 @@ class GradientAlgorithm:
     >>> result.solution.utility  # doctest: +SKIP
     """
 
-    def __init__(self, ext: ExtendedNetwork, config: Optional[GradientConfig] = None):
+    def __init__(
+        self,
+        ext: ExtendedNetwork,
+        config: Optional[GradientConfig] = None,
+        backend=None,
+    ):
         self.ext = ext
         self.config = config or GradientConfig()
+        if backend is None:
+            # imported lazily: repro.parallel imports this module's kernels
+            from repro.parallel.backend import SerialBackend
+
+            backend = SerialBackend()
+        self.backend = backend
+        backend.bind(self.ext, self.config)
 
     # -- one application of Gamma ------------------------------------------------
     def compute_context(
         self, routing: RoutingState, instrumentation=None
     ) -> IterationContext:
         """Solve the flow balance once and cache everything the iteration needs."""
-        return build_iteration_context(
-            self.ext, routing, self.config.cost_model, instrumentation=instrumentation
-        )
+        return self.backend.build_context(routing, instrumentation=instrumentation)
 
     def step(
         self,
@@ -376,43 +383,18 @@ class GradientAlgorithm:
         precomputed :class:`IterationContext` of ``routing``; without it one
         is built here (the run loop always passes the cached one, so each
         iteration solves the flow balance exactly once).
-        ``instrumentation`` times the blocking and Gamma phases; it is
-        read-only and never changes an iterate.
+        ``instrumentation`` times the backend's phases; it is read-only and
+        never changes an iterate.
+
+        The actual work happens in the configured execution backend
+        (:class:`repro.parallel.SerialBackend` by default, or a
+        :class:`repro.parallel.ParallelBackend` sharding the per-commodity
+        kernels across worker processes).  Every backend produces
+        bit-identical iterates.
         """
-        ext = self.ext
-        cfg = self.config
-        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
-        if eta is None:
-            eta = cfg.eta
-        if context is None:
-            context = self.compute_context(routing, instrumentation=instrumentation)
-        new_phi = routing.phi.copy()
-
-        if cfg.use_blocking:
-            with inst.phase("blocking"):
-                blocked = compute_all_blocked_sets(
-                    ext, routing, context.traffic, context.dadr, context.delta, eta
-                ).reshape(-1)
-            if not blocked.any():
-                # an empty blocked set is indistinguishable from no blocking;
-                # let the kernel take its cheaper unblocked path
-                blocked = None
-        else:
-            blocked = None
-        # one kernel call for every commodity: the merged plan's flattened
-        # (j*V + v, j*E + e) ids index the raveled views below
-        with inst.phase("gamma"):
-            apply_gamma_batch(
-                new_phi.reshape(-1),
-                ext.merged_gamma_plan,
-                context.traffic.reshape(-1),
-                context.delta.reshape(-1),
-                blocked,
-                eta,
-                cfg.traffic_tol,
-            )
-
-        return RoutingState(new_phi)
+        return self.backend.step(
+            routing, eta=eta, context=context, instrumentation=instrumentation
+        )
 
     def step_reference(
         self, routing: RoutingState, eta: Optional[float] = None

@@ -354,7 +354,7 @@ def optimality_residual(
     :class:`repro.core.context.IterationContext` for ``routing`` so the flow
     balance and the marginal wave are not solved again.
     """
-    if context is not None:
+    if context is not None and context.dadf is not None:
         traffic = context.traffic
         dadf = context.dadf
     else:
@@ -368,7 +368,9 @@ def optimality_residual(
     per_sufficient: List[float] = []
     for view in ext.commodities:
         j = view.index
-        if context is not None:
+        if context is not None and context.dadr is not None:
+            # a parallel-backend context carries dadf but not the stacked
+            # derivative arrays; fall through to the per-commodity wave then
             dadr = context.dadr[j]
             delta = context.delta[j]
         else:

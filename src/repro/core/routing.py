@@ -35,6 +35,7 @@ __all__ = [
     "uniform_routing",
     "validate_routing",
     "solve_traffic",
+    "solve_traffic_commodity",
     "solve_traffic_scalar",
     "solve_traffic_linear",
     "commodity_edge_flows",
@@ -182,6 +183,35 @@ def solve_traffic(ext: ExtendedNetwork, routing: RoutingState) -> np.ndarray:
             t_flat[heads] += contrib
         else:
             np.add.at(t_flat, heads, contrib)
+    return t
+
+
+def solve_traffic_commodity(
+    ext: ExtendedNetwork, j: int, phi_row: np.ndarray
+) -> np.ndarray:
+    """Row ``j`` of :func:`solve_traffic`: one commodity's flow balance.
+
+    This is the sharding primitive of the process-parallel backend
+    (:mod:`repro.parallel`): commodity subproblems are independent given
+    ``phi``, so each worker runs this per owned commodity.  It walks the
+    commodity's own :class:`~repro.core.transform.CommodityFlowPlan` blocks
+    with the same gather/ordered-scatter discipline as the merged
+    cross-commodity wave -- the commodities' flattened index spaces are
+    disjoint there, so the per-commodity accumulation order is exactly the
+    merged plan's restriction to row ``j`` and the result is bit-identical
+    to ``solve_traffic(ext, routing)[j]`` (pinned by tests).
+    """
+    plan = ext.flow_plans[j]
+    t = np.zeros(ext.num_nodes, dtype=float)
+    t[ext.commodity_dummies[j]] = ext.commodity_max_rates[j]
+    offsets = plan.offsets
+    for b in range(len(offsets) - 1):
+        s, e = offsets[b], offsets[b + 1]
+        contrib = t[plan.tails[s:e]] * phi_row[plan.edges[s:e]] * plan.gains[s:e]
+        if plan.unique_heads[b]:
+            t[plan.heads[s:e]] += contrib
+        else:
+            np.add.at(t, plan.heads[s:e], contrib)
     return t
 
 

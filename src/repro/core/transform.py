@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -326,6 +326,16 @@ class ExtendedNetwork:
         self._merged_reverse_plan: Optional[MergedWavePlan] = None
         self._merged_gamma_plan: Optional[CommodityGammaPlan] = None
         self._merged_edge_list: Optional[MergedEdgeList] = None
+
+        # lazy caches filled in by the hot paths (routing / marginals /
+        # blocking); declared here so the attributes are part of the type.
+        # _linear_utility_weights uses False as its "not computed" sentinel
+        # because the computed value may legitimately be None (non-linear).
+        self._external_inputs_template: Optional[np.ndarray] = None
+        self._commodity_rows: Optional[np.ndarray] = None
+        self._utility_at_max: Optional[np.ndarray] = None
+        self._linear_utility_weights: Any = False
+        self._reverse_level_mel_pos: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @property
     def flow_plans(self) -> List[CommodityFlowPlan]:

@@ -1,0 +1,21 @@
+"""Process-parallel execution backend for the gradient engine.
+
+See :mod:`repro.parallel.backend` for the backend classes and
+``docs/parallelism.md`` for the design: per-commodity sharding over a
+process pool, shared-memory array exchange, and the determinism contract
+that keeps parallel iterates bit-identical to serial ones.
+"""
+
+from repro.parallel.backend import (
+    ExecutionBackend,
+    ParallelBackend,
+    SerialBackend,
+    resolve_backend,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ParallelBackend",
+    "resolve_backend",
+]

@@ -1,0 +1,425 @@
+"""Execution backends for the gradient engine: serial and process-parallel.
+
+The paper's distributed algorithm is embarrassingly parallel across
+commodities within an iteration: given the routing state ``phi`` and the
+global link-cost derivative ``dadf``, each commodity's flow balance,
+marginal-cost wave, blocked sets and ``Gamma`` update touch only its own
+rows.  :class:`ParallelBackend` shards that per-commodity work across a
+:class:`~concurrent.futures.ProcessPoolExecutor`, keeping the iterates
+**bit-identical** to the serial engine:
+
+* workers run the per-commodity kernels that are already pinned
+  bit-identical to the merged cross-commodity kernels the serial engine
+  uses (``solve_traffic_commodity``, ``marginal_cost_to_destination``,
+  ``compute_blocked_sets``, ``apply_gamma_batch`` over the per-commodity
+  plan);
+* the only cross-commodity coupling -- summing per-commodity resource usage
+  into ``edge_usage`` (eq. (4)) -- is reduced on the master by the *same*
+  fixed-order ``np.add.reduce`` call over the same ``(J, E)`` bits as the
+  serial path, regardless of worker completion order;
+* everything else the master computes (cost breakdown, ``dadf``) runs the
+  identical serial functions on those identical bits.
+
+:class:`SerialBackend` is the default and is a verbatim move of the previous
+inline code paths of :class:`~repro.core.gradient.GradientAlgorithm`, so
+``backend=None`` is a zero-behavior change.
+
+See ``docs/parallelism.md`` for the design discussion and when sharding
+actually pays off.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.blocking import compute_all_blocked_sets
+from repro.core.context import IterationContext, build_iteration_context
+from repro.core.gradient import GradientConfig, apply_gamma_batch
+from repro.core.marginals import evaluate_cost, link_cost_derivative
+from repro.core.routing import RoutingState
+from repro.core.transform import ExtendedNetwork
+from repro.exceptions import ParallelExecutionError
+from repro.obs.instrumentation import NULL_INSTRUMENTATION
+from repro.parallel.shm import SharedArraySet
+from repro.parallel.worker import init_worker, run_shard
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ParallelBackend",
+    "resolve_backend",
+]
+
+
+class ExecutionBackend:
+    """Interface every execution backend implements.
+
+    A backend is *bound* to one ``(ExtendedNetwork, GradientConfig)`` pair by
+    the algorithm that owns it, then asked for the two halves of an
+    iteration: :meth:`build_context` (the flow solve and everything derived
+    from it) and :meth:`step` (one application of the update map ``Gamma``).
+    Backends must keep iterates bit-identical to :class:`SerialBackend`.
+    """
+
+    name = "abstract"
+    workers = 1
+
+    def bind(self, ext: ExtendedNetwork, config: GradientConfig) -> None:
+        raise NotImplementedError
+
+    def build_context(
+        self,
+        routing: RoutingState,
+        instrumentation: Any = None,
+        with_derivatives: bool = True,
+    ) -> IterationContext:
+        raise NotImplementedError
+
+    def step(
+        self,
+        routing: RoutingState,
+        eta: Optional[float] = None,
+        context: Optional[IterationContext] = None,
+        instrumentation: Any = None,
+    ) -> RoutingState:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources; safe to call repeatedly."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """The in-process reference backend (the previous inline code paths)."""
+
+    name = "serial"
+    workers = 1
+
+    def __init__(self) -> None:
+        self._ext: Optional[ExtendedNetwork] = None
+        self._config: Optional[GradientConfig] = None
+
+    def bind(self, ext: ExtendedNetwork, config: GradientConfig) -> None:
+        self._ext = ext
+        self._config = config
+
+    def build_context(
+        self,
+        routing: RoutingState,
+        instrumentation: Any = None,
+        with_derivatives: bool = True,
+    ) -> IterationContext:
+        return build_iteration_context(
+            self._ext,
+            routing,
+            self._config.cost_model,
+            with_derivatives=with_derivatives,
+            instrumentation=instrumentation,
+        )
+
+    def step(
+        self,
+        routing: RoutingState,
+        eta: Optional[float] = None,
+        context: Optional[IterationContext] = None,
+        instrumentation: Any = None,
+    ) -> RoutingState:
+        ext = self._ext
+        cfg = self._config
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        if eta is None:
+            eta = cfg.eta
+        if context is None:
+            context = self.build_context(routing, instrumentation=instrumentation)
+        new_phi = routing.phi.copy()
+
+        blocked: Optional[np.ndarray]
+        if cfg.use_blocking:
+            with inst.phase("blocking"):
+                blocked = compute_all_blocked_sets(
+                    ext, routing, context.traffic, context.dadr, context.delta, eta
+                ).reshape(-1)
+            if not blocked.any():
+                # an empty blocked set is indistinguishable from no blocking;
+                # let the kernel take its cheaper unblocked path
+                blocked = None
+        else:
+            blocked = None
+        # one kernel call for every commodity: the merged plan's flattened
+        # (j*V + v, j*E + e) ids index the raveled views below
+        with inst.phase("gamma"):
+            apply_gamma_batch(
+                new_phi.reshape(-1),
+                ext.merged_gamma_plan,
+                context.traffic.reshape(-1),
+                context.delta.reshape(-1),
+                blocked,
+                eta,
+                cfg.traffic_tol,
+            )
+
+        return RoutingState(new_phi)
+
+
+def _split_shards(num_commodities: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal commodity ranges, one per logical worker.
+
+    Contiguity matters: the master's fixed-order reduce and the bit-identity
+    argument rely on every commodity being computed exactly once and on the
+    reduce order being the commodity order, not the shard order.
+    """
+    n = max(1, min(workers, num_commodities))
+    base, extra = divmod(num_commodities, n)
+    shards: List[Tuple[int, int]] = []
+    lo = 0
+    for k in range(n):
+        hi = lo + base + (1 if k < extra else 0)
+        shards.append((lo, hi))
+        lo = hi
+    return shards
+
+
+class ParallelBackend(ExecutionBackend):
+    """Process-parallel sharded execution of the gradient iteration.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (default: ``os.cpu_count()``).  The effective
+        pool size is capped at the commodity count -- the sharding axis.
+    start_method:
+        Optional :mod:`multiprocessing` start method (``"fork"``,
+        ``"spawn"``, ...); default: the platform default.
+    inject_fault:
+        Test hook: the name of a worker phase (``"forecast"`` / ``"step"``)
+        in which every worker raises, to exercise crash cleanup.  Never set
+        this outside tests.
+
+    Use as a context manager (or call :meth:`close`) to release the worker
+    pool and the shared-memory blocks deterministically.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        inject_fault: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self._start_method = start_method
+        self._inject_fault = inject_fault
+        self._ext: Optional[ExtendedNetwork] = None
+        self._config: Optional[GradientConfig] = None
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._shm: Optional[SharedArraySet] = None
+        self._shards: List[Tuple[int, int]] = []
+        self._loaded_for: Optional[RoutingState] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+    def bind(self, ext: ExtendedNetwork, config: GradientConfig) -> None:
+        if ext is self._ext and config is self._config:
+            return
+        if self._pool is not None:
+            # rebinding to a new problem invalidates the published arrays
+            self.close()
+        self._ext = ext
+        self._config = config
+
+    def _ensure_started(self) -> None:
+        if self._pool is not None:
+            return
+        if self._ext is None:
+            raise ParallelExecutionError(
+                "ParallelBackend used before bind(); construct it via "
+                "GradientAlgorithm(..., backend=...) or call bind(ext, config)"
+            )
+        ext = self._ext
+        # build the lazy plans once on the master so the pickled network the
+        # workers receive already carries them
+        _ = ext.flow_plans, ext.gamma_plans, ext.merged_gamma_plan
+        shm = SharedArraySet()
+        try:
+            shape_je = (ext.num_commodities, ext.num_edges)
+            shm.create("phi", shape_je)
+            shm.create("phi_next", shape_je)
+            shm.create("usage", shape_je)
+            shm.create("traffic", (ext.num_commodities, ext.num_nodes))
+            shm.create("dadf", (ext.num_edges,))
+            self._shards = _split_shards(ext.num_commodities, self.workers)
+            import multiprocessing
+
+            ctx = (
+                multiprocessing.get_context(self._start_method)
+                if self._start_method
+                else None
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=len(self._shards),
+                initializer=init_worker,
+                initargs=(ext, shm.specs, self._inject_fault),
+                **({"mp_context": ctx} if ctx is not None else {}),
+            )
+        except BaseException:
+            shm.close()
+            raise
+        self._shm = shm
+
+    def close(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        shm, self._shm = self._shm, None
+        if shm is not None:
+            shm.close()
+        self._loaded_for = None
+
+    def __del__(self) -> None:  # best-effort safety net; close() is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- dispatch ------------------------------------------------------------------
+    def _dispatch(self, phase: str, args: Sequence[Any] = ()) -> List[Any]:
+        assert self._pool is not None
+        futures: List[Future] = [
+            self._pool.submit(run_shard, phase, lo, hi, *args)
+            for lo, hi in self._shards
+        ]
+        results: List[Any] = []
+        first_error: Optional[BaseException] = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # worker death raises BrokenProcessPool
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            # the pool may be broken; tear everything down so the caller is
+            # left with a clean error instead of a wedged executor
+            self.close()
+            raise ParallelExecutionError(
+                f"parallel worker failed during the {phase!r} phase: "
+                f"{first_error!r} (the worker pool has been shut down)"
+            ) from first_error
+        return results
+
+    def _observe_worker_timings(self, inst: Any, results: List[Any]) -> None:
+        if not inst.enabled:
+            return
+        for worker_index, (_lo, timings) in enumerate(results):
+            for name, duration in timings.items():
+                inst.phase_observation(
+                    f"worker{worker_index}.{name}", duration, worker=worker_index
+                )
+
+    # -- the two iteration halves ----------------------------------------------------
+    def build_context(
+        self,
+        routing: RoutingState,
+        instrumentation: Any = None,
+        with_derivatives: bool = True,
+    ) -> IterationContext:
+        """Parallel flow solve + master-side reduce and cost evaluation.
+
+        The returned context always carries ``dadf`` but never ``dadr`` /
+        ``delta``: the parallel :meth:`step` recomputes the per-commodity
+        derivative wave inside the workers (one fewer synchronisation
+        barrier per iteration).
+        """
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        self._ensure_started()
+        ext = self._ext
+        cfg = self._config
+        arrays = self._shm.arrays
+        with inst.phase("flow_solve"):
+            np.copyto(arrays["phi"], routing.phi)
+            results = self._dispatch("forecast")
+            # deterministic fixed-order reduce: same call, same (J, E) bits,
+            # same association as the serial resource_usage -- worker
+            # completion order cannot influence a single output bit
+            edge_usage = np.add.reduce(arrays["usage"], axis=0)
+            node_usage = np.zeros(ext.num_nodes, dtype=float)
+            np.add.at(node_usage, ext.edge_tail, edge_usage)
+            traffic = arrays["traffic"].copy()
+            breakdown = evaluate_cost(
+                ext, routing, cfg.cost_model, traffic, usage=(edge_usage, node_usage)
+            )
+            dadf = link_cost_derivative(ext, cfg.cost_model, edge_usage, node_usage)
+            np.copyto(arrays["dadf"], dadf)
+        inst.count("flow_solves")
+        if inst.enabled:
+            inst.gauge("parallel.workers", float(len(self._shards)))
+        self._observe_worker_timings(inst, results)
+        self._loaded_for = routing
+        return IterationContext(
+            routing=routing,
+            traffic=traffic,
+            edge_usage=edge_usage,
+            node_usage=node_usage,
+            breakdown=breakdown,
+            dadf=dadf if with_derivatives else None,
+            dadr=None,
+            delta=None,
+        )
+
+    def step(
+        self,
+        routing: RoutingState,
+        eta: Optional[float] = None,
+        context: Optional[IterationContext] = None,
+        instrumentation: Any = None,
+    ) -> RoutingState:
+        """One application of ``Gamma``, sharded across the worker pool."""
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        self._ensure_started()
+        cfg = self._config
+        if eta is None:
+            eta = cfg.eta
+        if context is None or self._loaded_for is not routing:
+            # the shared traffic/dadf buffers describe some other routing
+            # state; refresh them for this one
+            self.build_context(routing, instrumentation=instrumentation)
+        arrays = self._shm.arrays
+        with inst.phase("parallel_step"):
+            np.copyto(arrays["phi"], routing.phi)
+            results = self._dispatch(
+                "step", (eta, cfg.use_blocking, cfg.traffic_tol)
+            )
+            new_phi = arrays["phi_next"].copy()
+        self._observe_worker_timings(inst, results)
+        return RoutingState(new_phi)
+
+
+def resolve_backend(
+    backend: Optional[ExecutionBackend] = None,
+    workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """The backend implied by the uniform ``backend=`` / ``workers=`` pair.
+
+    ``workers`` is the convenience spelling used by :func:`repro.solve` and
+    the CLI: ``None`` keeps the serial default, any count >= 1 builds a
+    :class:`ParallelBackend` (1 still exercises the pool path, which is
+    useful for testing and for isolating the iteration from the caller's
+    process).  Passing both is an error.
+    """
+    if backend is not None and workers is not None:
+        raise ValueError("pass either backend= or workers=, not both")
+    if backend is not None:
+        return backend
+    if workers is not None:
+        return ParallelBackend(workers=workers)
+    return SerialBackend()

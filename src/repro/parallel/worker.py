@@ -1,0 +1,145 @@
+"""Worker-process side of the process-parallel gradient backend.
+
+Each worker owns a contiguous *shard* of commodities.  The pool initializer
+receives the pickled :class:`~repro.core.transform.ExtendedNetwork` exactly
+once (the static graph arrays never cross the pickle boundary again) and
+attaches to the shared-memory arrays published by the master; after that,
+per-iteration task descriptors are a few bytes each.
+
+Two task phases exist, mirroring the two halves of a serial iteration:
+
+``forecast``
+    Solve the flow balance (eq. (3)) for each owned commodity and write its
+    traffic row and per-commodity resource-usage row into shared memory.
+    The master then performs the deterministic fixed-order reduce
+    (``np.add.reduce`` over the commodity axis -- the *same call on the same
+    bits* as the serial path) to obtain ``edge_usage``/``node_usage``.
+
+``step``
+    Given the master-computed ``dadf`` (eq. (11)), run the marginal-cost
+    wave (eq. (9)), the edge marginals (eq. (15)), the blocked sets
+    (eq. (18)) and the update map ``Gamma`` (eqs. (14)-(17)) for each owned
+    commodity, writing the new routing row into the ``phi_next`` buffer.
+
+Every kernel invoked here is the *per-commodity* variant that is pinned
+bit-identical to the merged cross-commodity kernels the serial engine runs,
+which is what makes the parallel iterates bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import atexit
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.blocking import compute_blocked_sets
+from repro.core.gradient import apply_gamma_batch
+from repro.core.marginals import edge_marginals, marginal_cost_to_destination
+from repro.core.routing import RoutingState, solve_traffic_commodity
+from repro.core.transform import ExtendedNetwork
+from repro.parallel.shm import ArraySpec, attach_arrays
+
+__all__ = ["init_worker", "run_shard"]
+
+# Process-global worker state, set once by the pool initializer.
+_EXT: Optional[ExtendedNetwork] = None
+_ARRAYS: Dict[str, np.ndarray] = {}
+_BLOCKS: List[Any] = []
+_FAULT: Optional[str] = None
+
+
+def _close_shared_memory() -> None:
+    global _ARRAYS, _BLOCKS
+    _ARRAYS = {}
+    for block in _BLOCKS:
+        try:
+            block.close()
+        except Exception:
+            pass
+    _BLOCKS = []
+
+
+def init_worker(ext: ExtendedNetwork, specs: ArraySpec, fault: Optional[str]) -> None:
+    """Pool initializer: receive the graph once, attach the shared arrays."""
+    global _EXT, _ARRAYS, _BLOCKS, _FAULT
+    _EXT = ext
+    _ARRAYS, _BLOCKS = attach_arrays(specs)
+    _FAULT = fault
+    # touch the lazy per-commodity plans once so iteration-time tasks never
+    # pay (or re-time) the plan construction
+    _ = ext.flow_plans, ext.gamma_plans
+    atexit.register(_close_shared_memory)
+
+
+def _forecast_shard(lo: int, hi: int) -> Dict[str, float]:
+    assert _EXT is not None, "worker used before init_worker ran"
+    ext = _EXT
+    phi = _ARRAYS["phi"]
+    traffic = _ARRAYS["traffic"]
+    usage = _ARRAYS["usage"]
+    start = time.perf_counter()
+    for j in range(lo, hi):
+        row = solve_traffic_commodity(ext, j, phi[j])
+        traffic[j] = row
+        # same elementwise association as the serial (t * phi) * cost
+        usage[j] = row[ext.edge_tail] * phi[j] * ext.cost[j]
+    return {"flow_solve": time.perf_counter() - start}
+
+
+def _step_shard(
+    lo: int, hi: int, eta: float, use_blocking: bool, traffic_tol: float
+) -> Dict[str, float]:
+    assert _EXT is not None, "worker used before init_worker ran"
+    ext = _EXT
+    phi = _ARRAYS["phi"]
+    phi_next = _ARRAYS["phi_next"]
+    traffic = _ARRAYS["traffic"]
+    dadf = _ARRAYS["dadf"]
+    routing = RoutingState(phi)  # zero-copy read-only view
+    timings = {"marginals": 0.0, "blocking": 0.0, "gamma": 0.0}
+    for j in range(lo, hi):
+        start = time.perf_counter()
+        dadr = marginal_cost_to_destination(ext, j, routing, dadf)
+        delta = edge_marginals(ext, j, dadf, dadr)
+        timings["marginals"] += time.perf_counter() - start
+
+        blocked: Optional[np.ndarray] = None
+        if use_blocking:
+            start = time.perf_counter()
+            blocked = compute_blocked_sets(
+                ext, j, routing, traffic, dadr, delta, eta
+            )
+            if not blocked.any():
+                # an all-False mask is indistinguishable from no blocking;
+                # take the kernel's cheaper unblocked path (same bits)
+                blocked = None
+            timings["blocking"] += time.perf_counter() - start
+
+        start = time.perf_counter()
+        row = phi[j].copy()
+        apply_gamma_batch(
+            row, ext.gamma_plans[j], traffic[j], delta, blocked, eta, traffic_tol
+        )
+        phi_next[j] = row
+        timings["gamma"] += time.perf_counter() - start
+    return timings
+
+
+def run_shard(phase: str, lo: int, hi: int, *args: Any) -> Tuple[int, Dict[str, float]]:
+    """Task entry point: run one phase over commodities ``[lo, hi)``.
+
+    Returns ``(lo, timings)`` so the master can attribute the per-phase
+    wall-clock to the shard's logical worker in the instrumentation.
+    """
+    if _FAULT is not None and _FAULT == phase:
+        raise RuntimeError(
+            f"injected worker fault during {phase!r} (test hook)"
+        )
+    if phase == "forecast":
+        return lo, _forecast_shard(lo, hi)
+    if phase == "step":
+        eta, use_blocking, traffic_tol = args
+        return lo, _step_shard(lo, hi, eta, use_blocking, traffic_tol)
+    raise ValueError(f"unknown worker phase {phase!r}")

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import build_extended_network, solve
+from repro import build_extended_network
 from repro.core.admission import AdmissionController, TokenBucket
 from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.exceptions import ModelError

@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro import build_extended_network
 from repro.core.blocking import compute_blocked_sets, improper_links, node_tags
 from repro.core.marginals import (
     CostModel,
@@ -18,7 +16,6 @@ from repro.core.routing import (
     solve_traffic,
     uniform_routing,
 )
-from repro.workloads import diamond_network, figure1_network
 
 
 def marginal_context(ext, routing, eps=0.2):

@@ -1,8 +1,9 @@
 """Smoke tests: the runnable examples must actually run.
 
-Only the fast examples execute here (the full Figure-4 reproduction and the
-incident-timeline example take minutes and run as benchmarks/examples
-instead); each is checked for a zero exit code and its headline output.
+Every script in ``examples/`` executes here (the registry below is pinned to
+the directory glob, so adding an example without registering its headline
+output fails the suite); each is checked for a zero exit code and a needle
+from its expected output.
 """
 
 from __future__ import annotations
@@ -15,15 +16,19 @@ import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
-FAST_EXAMPLES = {
+# script -> a distinctive fragment of its headline output
+EXAMPLES = {
     "quickstart.py": "TOTAL UTILITY",
     "distributed_protocol.py": "sequential rounds",
     "capacity_planning.py": "marginal value",
     "financial_pipeline.py": "expands",
+    "sensor_fusion.py": "Admitted rates",
+    "failure_recovery.py": "final utility",
+    "figure4_reproduction.py": "optimal total throughput",
 }
 
 
-@pytest.mark.parametrize("script,needle", sorted(FAST_EXAMPLES.items()))
+@pytest.mark.parametrize("script,needle", sorted(EXAMPLES.items()))
 def test_example_runs(script, needle):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script)],
@@ -33,6 +38,17 @@ def test_example_runs(script, needle):
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert needle in result.stdout
+
+
+def test_registry_matches_examples_directory():
+    """A new example can't silently go un-smoked: the registry must list
+    exactly the scripts in examples/ (CI's examples-smoke job runs the same
+    glob)."""
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert scripts == sorted(EXAMPLES), (
+        "examples/ and tests/test_examples.py:EXAMPLES disagree -- register "
+        "the new script (with an output needle) or delete the stale entry"
+    )
 
 
 def test_all_examples_exist_and_are_documented():

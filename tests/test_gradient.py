@@ -12,18 +12,15 @@ from repro.core.gradient import (
     apply_gamma_at_node,
     apply_gamma_batch,
 )
-from repro.core.marginals import CostModel, evaluate_cost
 from repro.core.optimal import arc_flows_to_routing, solve_lp
 from repro.core.routing import (
     initial_routing,
     feasibility_report,
-    solve_traffic,
     validate_routing,
 )
 from repro.core.utility import LogUtility
 from repro.workloads import (
     diamond_network,
-    figure1_network,
     random_stream_network,
 )
 from repro.workloads.random_network import RandomNetworkSpec

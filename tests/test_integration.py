@@ -19,7 +19,6 @@ from repro import (
 from repro.analysis import iterations_to_fraction
 from repro.core.routing import (
     feasibility_report,
-    initial_routing,
     uniform_routing,
     validate_routing,
 )
@@ -27,7 +26,6 @@ from repro.workloads import (
     diamond_network,
     figure1_network,
     financial_pipeline_network,
-    paper_figure4_network,
     random_stream_network,
     sensor_fusion_network,
 )

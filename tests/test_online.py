@@ -7,7 +7,6 @@ import pytest
 
 from repro import build_extended_network
 from repro.core.gradient import GradientAlgorithm, GradientConfig
-from repro.core.optimal import solve_lp
 from repro.core.routing import (
     feasibility_report,
     initial_routing,

@@ -22,7 +22,7 @@ from repro.core.routing import (
 )
 from repro.core.utility import LinearUtility, LogUtility, SqrtUtility
 from repro.exceptions import SolverError
-from repro.workloads import diamond_network, figure1_network
+from repro.workloads import diamond_network
 
 
 class TestArcFlowProblem:

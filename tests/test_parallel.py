@@ -1,0 +1,259 @@
+"""Tests for the process-parallel execution backend (:mod:`repro.parallel`).
+
+The contract under test is strict: a :class:`ParallelBackend` must produce
+**bit-identical** iterates to the serial engine -- not "close", equal -- for
+any worker count, must not change the flow-solve count (the instrumentation
+invariance the serial engine already pins), and must surface worker crashes
+as a clean :class:`repro.exceptions.ParallelExecutionError` instead of a
+hang or a wedged pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    GradientAlgorithm,
+    GradientConfig,
+    Instrumentation,
+    ParallelExecutionError,
+    build_extended_network,
+    solve,
+)
+from repro.core.routing import initial_routing, solve_traffic
+from repro.parallel import ParallelBackend, SerialBackend, resolve_backend
+from repro.parallel.backend import _split_shards
+from repro.workloads import random_stream_network
+from repro.workloads.random_network import RandomNetworkSpec
+
+ITERATIONS = 25
+
+
+def _random_ext(seed: int, num_nodes: int = 18, num_commodities: int = 3):
+    spec = RandomNetworkSpec(
+        num_nodes=num_nodes,
+        num_commodities=num_commodities,
+        depth_range=(3, 4),
+        layer_width_range=(2, 3),
+    )
+    return build_extended_network(random_stream_network(spec, seed=seed))
+
+
+def _trajectory(ext, config, backend=None, iterations=ITERATIONS):
+    """The full phi trajectory of a run (every iterate, not just records)."""
+    algo = GradientAlgorithm(ext, config, backend=backend)
+    routing = initial_routing(ext)
+    states = [routing.phi.copy()]
+    context = algo.compute_context(routing)
+    for _ in range(iterations):
+        routing = algo.step(routing, context=context)
+        states.append(routing.phi.copy())
+        context = algo.compute_context(routing)
+    return states
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_trajectory_bit_identical_to_serial(self, workers, seed):
+        ext = _random_ext(seed)
+        config = GradientConfig(eta=0.04)
+        serial = _trajectory(ext, config)
+        with ParallelBackend(workers=workers) as backend:
+            parallel = _trajectory(ext, config, backend=backend)
+        assert len(serial) == len(parallel)
+        for iteration, (a, b) in enumerate(zip(serial, parallel)):
+            assert np.array_equal(a, b), f"phi diverged at iteration {iteration}"
+
+    def test_run_loop_bit_identical(self):
+        ext = _random_ext(seed=5)
+        config = GradientConfig(eta=0.04, max_iterations=40, record_every=5)
+        r_serial = GradientAlgorithm(ext, config).run()
+        with ParallelBackend(workers=2) as backend:
+            r_parallel = GradientAlgorithm(ext, config, backend=backend).run()
+        assert r_serial.iterations == r_parallel.iterations
+        assert r_serial.converged == r_parallel.converged
+        assert [h.cost for h in r_serial.history] == [
+            h.cost for h in r_parallel.history
+        ]
+        assert np.array_equal(
+            r_serial.solution.routing.phi, r_parallel.solution.routing.phi
+        )
+        assert r_serial.solution.utility == r_parallel.solution.utility
+
+    def test_no_blocking_config(self):
+        ext = _random_ext(seed=9)
+        config = GradientConfig(eta=0.04, use_blocking=False)
+        serial = _trajectory(ext, config, iterations=10)
+        with ParallelBackend(workers=2) as backend:
+            parallel = _trajectory(ext, config, backend=backend, iterations=10)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a, b)
+
+    def test_single_commodity_more_workers_than_commodities(self):
+        ext = _random_ext(seed=2, num_nodes=12, num_commodities=1)
+        config = GradientConfig(eta=0.04)
+        serial = _trajectory(ext, config, iterations=10)
+        with ParallelBackend(workers=4) as backend:
+            parallel = _trajectory(ext, config, backend=backend, iterations=10)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a, b)
+
+    def test_parallel_context_matches_serial_flow_solve(self):
+        ext = _random_ext(seed=13)
+        config = GradientConfig(eta=0.04)
+        routing = initial_routing(ext)
+        serial_ctx = GradientAlgorithm(ext, config).compute_context(routing)
+        with ParallelBackend(workers=2) as backend:
+            backend.bind(ext, config)
+            parallel_ctx = backend.build_context(routing)
+        assert np.array_equal(serial_ctx.traffic, parallel_ctx.traffic)
+        assert np.array_equal(serial_ctx.edge_usage, parallel_ctx.edge_usage)
+        assert np.array_equal(serial_ctx.node_usage, parallel_ctx.node_usage)
+        assert np.array_equal(serial_ctx.dadf, parallel_ctx.dadf)
+        assert serial_ctx.cost == parallel_ctx.cost
+
+
+class TestSolveIntegration:
+    def test_solve_workers_bit_identical(self):
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=16, num_commodities=2), seed=4
+        )
+        config = GradientConfig(eta=0.04, max_iterations=30)
+        s_serial = solve(net, config=config)
+        s_parallel = solve(net, config=config, workers=2)
+        assert np.array_equal(s_serial.routing.phi, s_parallel.routing.phi)
+        assert s_serial.utility == s_parallel.utility
+
+    def test_solve_distributed_workers(self):
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=14, num_commodities=2), seed=6
+        )
+        config = GradientConfig(eta=0.04, max_iterations=5)
+        r_serial = solve(net, method="distributed", config=config, full_result=True)
+        r_parallel = solve(
+            net, method="distributed", config=config, full_result=True, workers=2
+        )
+        assert np.array_equal(
+            r_serial.solution.routing.phi, r_parallel.solution.routing.phi
+        )
+        assert [h.cost for h in r_serial.history] == [
+            h.cost for h in r_parallel.history
+        ]
+
+    @pytest.mark.parametrize("method", ["optimal", "backpressure"])
+    def test_solve_rejects_workers_for_other_methods(self, method):
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=14, num_commodities=2), seed=6
+        )
+        with pytest.raises(TypeError, match="workers"):
+            solve(net, method=method, workers=2)
+
+    def test_flow_solve_counter_invariant(self):
+        """A parallel run performs exactly as many flow solves as a serial one."""
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=16, num_commodities=2), seed=8
+        )
+        config = GradientConfig(eta=0.04, max_iterations=20)
+        inst_serial, inst_parallel = Instrumentation(), Instrumentation()
+        solve(net, config=config, instrumentation=inst_serial)
+        solve(net, config=config, instrumentation=inst_parallel, workers=2)
+        serial_solves = inst_serial.registry.counter("flow_solves").value
+        parallel_solves = inst_parallel.registry.counter("flow_solves").value
+        assert serial_solves == parallel_solves
+        assert serial_solves > 0
+
+    def test_per_worker_phase_timings_recorded(self):
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=16, num_commodities=2), seed=8
+        )
+        inst = Instrumentation()
+        solve(
+            net,
+            config=GradientConfig(eta=0.04, max_iterations=5),
+            instrumentation=inst,
+            workers=2,
+        )
+        histograms = inst.registry.as_dict()["histograms"]
+        for worker in (0, 1):
+            for phase in ("flow_solve", "marginals", "blocking", "gamma"):
+                assert f"phase.worker{worker}.{phase}.seconds" in histograms
+
+
+class TestCrashSafety:
+    @pytest.mark.parametrize("phase", ["forecast", "step"])
+    def test_worker_fault_surfaces_clean_error(self, phase):
+        ext = _random_ext(seed=3)
+        config = GradientConfig(eta=0.04, max_iterations=5)
+        backend = ParallelBackend(workers=2, inject_fault=phase)
+        try:
+            with pytest.raises(ParallelExecutionError, match=phase):
+                GradientAlgorithm(ext, config, backend=backend).run()
+        finally:
+            backend.close()
+
+    def test_fault_tears_down_pool_and_shared_memory(self):
+        ext = _random_ext(seed=3)
+        config = GradientConfig(eta=0.04, max_iterations=5)
+        backend = ParallelBackend(workers=2, inject_fault="forecast")
+        with pytest.raises(ParallelExecutionError):
+            GradientAlgorithm(ext, config, backend=backend).run()
+        assert backend._pool is None
+        assert backend._shm is None
+
+    def test_unbound_backend_raises(self):
+        backend = ParallelBackend(workers=2)
+        with pytest.raises(ParallelExecutionError, match="bind"):
+            backend.build_context(None)
+
+
+class TestBackendLifecycle:
+    def test_close_is_idempotent_and_reusable(self):
+        ext = _random_ext(seed=7)
+        config = GradientConfig(eta=0.04)
+        backend = ParallelBackend(workers=2)
+        backend.bind(ext, config)
+        routing = initial_routing(ext)
+        first = backend.build_context(routing).traffic
+        backend.close()
+        backend.close()  # idempotent
+        # the pool restarts lazily after close
+        again = backend.build_context(routing).traffic
+        assert np.array_equal(first, again)
+        backend.close()
+
+    def test_rebind_to_new_network(self):
+        config = GradientConfig(eta=0.04)
+        ext_a, ext_b = _random_ext(seed=1), _random_ext(seed=2, num_nodes=14)
+        with ParallelBackend(workers=2) as backend:
+            backend.bind(ext_a, config)
+            routing_a = initial_routing(ext_a)
+            got_a = backend.build_context(routing_a).traffic
+            assert np.array_equal(got_a, solve_traffic(ext_a, routing_a))
+            backend.bind(ext_b, config)
+            routing_b = initial_routing(ext_b)
+            got_b = backend.build_context(routing_b).traffic
+            assert np.array_equal(got_b, solve_traffic(ext_b, routing_b))
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelBackend(workers=0)
+
+    def test_resolve_backend(self):
+        assert isinstance(resolve_backend(), SerialBackend)
+        backend = resolve_backend(workers=3)
+        assert isinstance(backend, ParallelBackend)
+        assert backend.workers == 3
+        explicit = SerialBackend()
+        assert resolve_backend(backend=explicit) is explicit
+        with pytest.raises(ValueError):
+            resolve_backend(backend=explicit, workers=2)
+
+    def test_split_shards(self):
+        assert _split_shards(5, 2) == [(0, 3), (3, 5)]
+        assert _split_shards(3, 8) == [(0, 1), (1, 2), (2, 3)]
+        assert _split_shards(6, 3) == [(0, 2), (2, 4), (4, 6)]
+        shards = _split_shards(7, 3)
+        covered = [j for lo, hi in shards for j in range(lo, hi)]
+        assert covered == list(range(7))

@@ -16,17 +16,15 @@ from repro import build_extended_network
 from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.core.marginals import CostModel, evaluate_cost
 from repro.core.routing import (
-    RoutingState,
     admitted_rates,
     commodity_edge_flows,
     feasibility_report,
-    initial_routing,
     resource_usage,
     solve_traffic,
     uniform_routing,
     validate_routing,
 )
-from repro.online import LinkFailure, NodeFailure, apply_event, emergency_shed, remap_routing
+from repro.online import LinkFailure, apply_event, emergency_shed, remap_routing
 from repro.workloads import diamond_network, figure1_network
 
 EXTS = {}

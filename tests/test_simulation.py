@@ -16,7 +16,6 @@ from repro.simulation import (
     MarginalCostMessage,
     NodeAgent,
 )
-from repro.simulation.messages import ForecastMessage, RoutingSignalMessage
 from repro.workloads import (
     diamond_network,
     figure1_network,
