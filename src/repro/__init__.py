@@ -200,6 +200,7 @@ def solve(
     instrumentation: Optional[Instrumentation] = None,
     full_result: bool = False,
     workers: Optional[int] = None,
+    validate: Union[bool, str] = False,
     **legacy,
 ):
     """Solve the joint admission/routing/allocation problem for a model.
@@ -238,6 +239,14 @@ def solve(
         processes via :class:`repro.parallel.ParallelBackend`.  Iterates are
         bit-identical to the serial default (``None``); see
         ``docs/parallelism.md`` for when this pays off.
+    validate:
+        Audit the result against the paper's invariant catalog
+        (:mod:`repro.validate`).  ``True`` attaches a
+        :class:`~repro.validate.ValidationReport` to ``result.validation``
+        and ``solution.extras["validation"]``; ``"strict"`` additionally
+        raises :class:`ValidationError` if any check fails.  The default
+        (``False``) runs no checks -- iterates and flow-solve counts are
+        unchanged (pinned by tests).  See docs/validation.md.
 
     Returns
     -------
@@ -246,13 +255,13 @@ def solve(
     """
     return _solve_impl(
         stream_network, method, config, instrumentation, full_result, legacy,
-        workers=workers,
+        workers=workers, validate=validate,
     )
 
 
 def _solve_impl(
     stream_network, method, config, instrumentation, full_result, legacy,
-    workers=None,
+    workers=None, validate=False,
 ):
     if method not in SOLVE_METHODS:
         raise ValueError(
@@ -275,30 +284,33 @@ def _solve_impl(
         if inst.enabled:
             inst.gauge("final_utility", solution.utility)
         result = OptimalResult(solution=solution)
-        return result if full_result else result.solution
+    else:
+        cfg = _coerce_config(method, config, legacy)
+        backend = None
+        if workers is not None:
+            from repro.parallel import ParallelBackend
 
-    cfg = _coerce_config(method, config, legacy)
-    backend = None
-    if workers is not None:
-        from repro.parallel import ParallelBackend
+            backend = ParallelBackend(workers=workers)
+        try:
+            if method == "gradient":
+                result = GradientAlgorithm(ext, cfg, backend=backend).run(
+                    instrumentation=instrumentation
+                )
+            elif method == "distributed":
+                from repro.simulation.runner import DistributedGradientRun
 
-        backend = ParallelBackend(workers=workers)
-    try:
-        if method == "gradient":
-            result = GradientAlgorithm(ext, cfg, backend=backend).run(
-                instrumentation=instrumentation
-            )
-        elif method == "distributed":
-            from repro.simulation.runner import DistributedGradientRun
+                result = DistributedGradientRun(
+                    ext, cfg, instrumentation=instrumentation, backend=backend
+                ).run(cfg.max_iterations, record_every=cfg.record_every)
+            else:  # backpressure
+                result = BackpressureAlgorithm(ext, cfg).run(
+                    instrumentation=instrumentation
+                )
+        finally:
+            if backend is not None:
+                backend.close()
+    if validate:
+        from repro.validate import attach_validation
 
-            result = DistributedGradientRun(
-                ext, cfg, instrumentation=instrumentation, backend=backend
-            ).run(cfg.max_iterations, record_every=cfg.record_every)
-        else:  # backpressure
-            result = BackpressureAlgorithm(ext, cfg).run(
-                instrumentation=instrumentation
-            )
-    finally:
-        if backend is not None:
-            backend.close()
+        attach_validation(result, ext, mode=validate, instrumentation=inst)
     return result if full_result else result.solution

@@ -6,6 +6,7 @@ Commands
 ``info``       summarise a model file (``--json`` for machine output)
 ``solve``      solve a model (gradient / distributed / optimal / backpressure)
 ``profile``    solve with instrumentation on and print phase timings
+``validate``   solve + audit against the paper's invariant catalog
 ``figure4``    run a quick Figure-4 reproduction
 
 Examples
@@ -17,7 +18,10 @@ Examples
     python -m repro solve model.json --method gradient --step-size 0.04 -o sol.json
     python -m repro solve model.json --metrics-out m.json --trace-out t.json
     python -m repro solve model.json --workers 4          # process-parallel
+    python -m repro solve model.json --validate           # attach the audit
     python -m repro profile model.json --max-iterations 2000 --workers 2
+    python -m repro validate model.json --method optimal --strict
+    python -m repro validate --self-test                  # fault injection
     python -m repro figure4 --seed 7
 
 ``solve --json`` emits one JSON document (the ``repro.result/1`` schema,
@@ -119,7 +123,7 @@ def _make_config(args: argparse.Namespace):
     return GradientConfig(**kwargs)
 
 
-def _instrumented_solve(args: argparse.Namespace, instrumentation):
+def _instrumented_solve(args: argparse.Namespace, instrumentation, validate=False):
     network = load_network(args.model)
     return solve(
         network,
@@ -128,6 +132,7 @@ def _instrumented_solve(args: argparse.Namespace, instrumentation):
         instrumentation=instrumentation,
         full_result=True,
         workers=args.workers,
+        validate=validate,
     )
 
 
@@ -145,13 +150,16 @@ def _export_instrumentation(args: argparse.Namespace, inst, quiet: bool) -> None
 def _cmd_solve(args: argparse.Namespace) -> int:
     instrument = bool(args.json or args.metrics_out or args.trace_out)
     inst = Instrumentation() if instrument else None
-    result = _instrumented_solve(args, inst)
+    result = _instrumented_solve(args, inst, validate=args.validate)
     if args.json:
         doc = result_to_dict(result, model=args.model, method=args.method)
         doc["metrics"] = inst.metrics_document(include_events=False)
         print(json.dumps(doc, indent=2))
     else:
         print(result.solution.summary())
+        if result.validation is not None:
+            print()
+            print(result.validation.summary())
     if args.output:
         save_solution(result.solution, args.output)
         if not args.json:
@@ -163,7 +171,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     inst = Instrumentation()
-    result = _instrumented_solve(args, inst)
+    result = _instrumented_solve(args, inst, validate=args.validate)
     solution = result.solution
     iterations = solution.iterations if solution is not None else None
     print(
@@ -180,8 +188,62 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         for name in sorted(counters):
             print(f"  {name.ljust(width)}  {counters[name]:g}")
     print(f"\nfinal utility: {result.final_utility:.6g}")
+    if result.validation is not None:
+        print()
+        print(result.validation.summary())
     _export_instrumentation(args, inst, quiet=False)
     return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.validate import run_self_test
+
+    if args.self_test:
+        records = run_self_test()
+        if args.json:
+            doc = {
+                "schema": "repro.selftest/1",
+                "records": [
+                    {
+                        "fault": r.fault,
+                        "expected_check": r.expected_check,
+                        "flagged": list(r.flagged),
+                        "caught": r.caught,
+                        "isolated": r.isolated,
+                    }
+                    for r in records
+                ],
+                "healthy": all(r.caught for r in records),
+            }
+            print(json.dumps(doc, indent=2))
+        else:
+            width = max(len(r.fault) for r in records)
+            print("Fault self-test (each class must be caught by its check)")
+            for r in records:
+                status = "caught" if r.caught else "MISSED"
+                if r.caught and r.isolated:
+                    status += ", isolated"
+                print(
+                    f"  {r.fault.ljust(width)}  -> {r.expected_check:<12}"
+                    f"  [{status}]  flagged={list(r.flagged)}"
+                )
+        return 0 if all(r.caught for r in records) else 1
+
+    if args.model is None:
+        print("error: a model file is required unless --self-test", file=sys.stderr)
+        return 2
+    result = _instrumented_solve(args, None, validate=True)
+    report = result.validation
+    if args.json:
+        doc = report.to_dict()
+        doc["model"] = args.model
+        doc["method"] = args.method
+        print(json.dumps(doc, indent=2))
+    else:
+        print(result.solution.summary())
+        print()
+        print(report.summary())
+    return 0 if report.passed or not args.strict else 1
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
@@ -217,9 +279,12 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_solver_options(parser: argparse.ArgumentParser) -> None:
-    """Flags shared by ``solve`` and ``profile``."""
-    parser.add_argument("model")
+def _add_solver_options(
+    parser: argparse.ArgumentParser, positional_model: bool = True
+) -> None:
+    """Flags shared by ``solve``, ``profile``, and ``validate``."""
+    if positional_model:
+        parser.add_argument("model")
     parser.add_argument(
         "--method",
         choices=["gradient", "distributed", "optimal", "backpressure"],
@@ -259,6 +324,12 @@ def _add_solver_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write a chrome://tracing timeline here",
     )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="audit the result against the paper's invariant catalog "
+        "(see docs/validation.md) and print the report",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -296,6 +367,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_solver_options(prof)
     prof.set_defaults(func=_cmd_profile)
+
+    val = sub.add_parser(
+        "validate",
+        help="solve a model and audit the result against the invariant catalog",
+    )
+    val.add_argument(
+        "model", nargs="?", default=None, help="model file (omit with --self-test)"
+    )
+    _add_solver_options(val, positional_model=False)
+    val.add_argument(
+        "--self-test",
+        action="store_true",
+        help="inject every known fault class and verify the checker catches each",
+    )
+    val.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any check fails",
+    )
+    val.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the repro.validation/1 report as JSON",
+    )
+    val.set_defaults(func=_cmd_validate)
 
     fig = sub.add_parser("figure4", help="quick Figure-4 reproduction")
     fig.add_argument("--seed", type=int, default=7)

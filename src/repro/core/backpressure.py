@@ -195,12 +195,19 @@ class BackpressureAlgorithm:
         return g
 
     # -- main loop -----------------------------------------------------------------
-    def run(self, instrumentation=None) -> BackpressureResult:
+    def run(self, instrumentation=None, validate=False) -> BackpressureResult:
         """Run the baseline; ``instrumentation`` records the sampled
-        trajectory, message totals, and whole-run timing (read-only)."""
+        trajectory, message totals, and whole-run timing (read-only).
+        ``validate`` (``True`` or ``"strict"``) audits the result afterward
+        (flow checks are skipped: the baseline keeps no routing state)."""
         inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
         with inst.phase("backpressure_run"):
-            return self._run(inst)
+            result = self._run(inst)
+        if validate:
+            from repro.validate import attach_validation
+
+            attach_validation(result, self.ext, mode=validate, instrumentation=inst)
+        return result
 
     def _run(self, inst) -> BackpressureResult:
         ext = self.ext

@@ -451,6 +451,7 @@ class GradientAlgorithm:
         routing: Optional[RoutingState] = None,
         callback: Optional[Callable[[int, IterationRecord], None]] = None,
         instrumentation=None,
+        validate=False,
     ) -> GradientResult:
         """Iterate ``Gamma`` from a feasible start until convergence.
 
@@ -463,6 +464,10 @@ class GradientAlgorithm:
         ``record_every`` cadence, and run-level gauges.  It only *reads*
         already-computed values, so an instrumented run produces bit-identical
         iterates and performs no extra flow solves.
+
+        ``validate`` (``True`` or ``"strict"``) runs the invariant audit on
+        the finished result and attaches the
+        :class:`~repro.validate.ValidationReport`; iterates are unaffected.
         """
         ext = self.ext
         cfg = self.config
@@ -547,12 +552,17 @@ class GradientAlgorithm:
             inst.gauge("converged", float(converged))
             inst.gauge("final_utility", solution.utility)
             inst.gauge("final_cost", solution.cost)
-        return GradientResult(
+        result = GradientResult(
             solution=solution,
             history=history,
             converged=converged,
             iterations=iterations_done,
         )
+        if validate:
+            from repro.validate import attach_validation
+
+            attach_validation(result, ext, mode=validate, instrumentation=inst)
+        return result
 
     def optimality(
         self,

@@ -67,6 +67,10 @@ class RunResultMixin:
     ``solution``.
     """
 
+    # the invariant audit (repro.validate.ValidationReport), attached when a
+    # run executes with validate= on; None on unvalidated results
+    validation: Any = None
+
     @property
     def utilities(self) -> np.ndarray:
         return np.array([rec.utility for rec in self.history])

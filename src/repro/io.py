@@ -250,6 +250,9 @@ def result_to_dict(result: Any, **context: Any) -> Dict[str, Any]:
         value = getattr(result, name, None)
         if value is not None:
             doc[name] = _scalar(value) if isinstance(value, float) else value
+    report = getattr(result, "validation", None)
+    if report is not None:
+        doc["validation"] = report.to_dict()
     return doc
 
 

@@ -161,12 +161,15 @@ class DistributedGradientRun:
         iterations: int,
         routing: Optional[RoutingState] = None,
         record_every: int = 1,
+        validate=False,
     ) -> DistributedRunResult:
         """Execute ``iterations`` distributed iterations from a feasible start.
 
         An initial forecast phase seeds every node's ``t_i(j)`` and ``f_i``
         before the first marginal-cost wave, mirroring the synchronous
-        engine's use of the current flow state.
+        engine's use of the current flow state.  ``validate`` (``True`` or
+        ``"strict"``) audits the finished result against the invariant
+        catalog.
         """
         if iterations < 1:
             raise SimulationError("iterations must be >= 1")
@@ -215,12 +218,17 @@ class DistributedGradientRun:
                 "rounds_per_iteration",
                 float(np.mean([m.rounds for m in all_metrics])),
             )
-        return DistributedRunResult(
+        result = DistributedRunResult(
             solution=solution,
             iterations=iterations,
             history=history,
             metrics=all_metrics,
         )
+        if validate:
+            from repro.validate import attach_validation
+
+            attach_validation(result, self.ext, mode=validate, instrumentation=inst)
+        return result
 
     def _record(self, iteration: int, context: IterationContext) -> IterationRecord:
         breakdown = context.breakdown

@@ -1,0 +1,271 @@
+"""Differential oracle: two solvers, one workload, a toleranced diff.
+
+The highest-leverage guard for perf work on this codebase is not a unit
+test but a *differential* one: run two algorithms (or the same algorithm
+on two execution backends) on the same instance and compare admitted
+rates, flows, and final utility.  Two comparison regimes:
+
+* **cross-algorithm** (gradient vs the centralized LP / Frank-Wolfe
+  optimum, or vs back-pressure): utilities must agree within a relative
+  tolerance.  Admitted rates and flows are reported but not enforced by
+  default -- optima can be degenerate, so different solvers legitimately
+  reach the same utility through different rates.
+* **cross-backend** (serial vs ``workers=N``): the parallel backend's
+  contract is *bit-identity* (docs/parallelism.md), so
+  :meth:`DifferentialOracle.compare_backends` requires exact equality of
+  the routing matrix, the admitted rates, and every recorded utility.
+
+The calibrated gradient configuration below is what the CI fuzz sweep
+(``benchmarks/fuzz_oracle.py``) runs over the seed matrix of
+:func:`repro.validate.strategies.oracle_seed_matrix`: adaptive stepping
+keeps the small random instances monotone, and 6000 iterations lands the
+final utility within a few percent of ``solve_concave`` (the remaining
+gap is the eps-barrier headroom, not solver error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.gradient import GradientConfig
+from repro.validate.checks import solution_flows
+
+__all__ = [
+    "calibrated_gradient_config",
+    "AlgorithmSpec",
+    "OracleReport",
+    "DifferentialOracle",
+]
+
+
+def calibrated_gradient_config(max_iterations: int = 6000) -> GradientConfig:
+    """The oracle's gradient configuration, tuned on the CI seed matrix."""
+    return GradientConfig(
+        eta=0.02, adaptive_eta=True, max_iterations=max_iterations,
+        record_every=50,
+    )
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One side of a differential comparison: method + config + backend."""
+
+    method: str = "gradient"
+    config: Any = None
+    workers: Optional[int] = None
+    label: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        if self.label:
+            return self.label
+        suffix = f"[workers={self.workers}]" if self.workers else ""
+        return self.method + suffix
+
+
+@dataclass
+class OracleReport:
+    """The diff of two runs on the same workload."""
+
+    label_a: str
+    label_b: str
+    utility_a: float
+    utility_b: float
+    utility_rel_diff: float
+    admitted_max_diff: float
+    flow_max_diff: Optional[float]  # None when either side exposes no flows
+    trajectories_equal: Optional[bool]  # None when histories aren't comparable
+    bit_identical: Optional[bool]  # None when representations aren't comparable
+    utility_rtol: float
+    admitted_atol: Optional[float]
+    require_bit_identical: bool
+    validation_passed: Optional[bool] = None  # set when validate= was on
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        ok = self.utility_rel_diff <= self.utility_rtol
+        if self.admitted_atol is not None:
+            ok = ok and self.admitted_max_diff <= self.admitted_atol
+        if self.require_bit_identical:
+            ok = ok and bool(self.bit_identical)
+        if self.validation_passed is not None:
+            ok = ok and self.validation_passed
+        return ok
+
+    def summary(self) -> str:
+        verdict = "AGREE" if self.passed else "DISAGREE"
+        lines = [
+            f"Oracle {verdict}: {self.label_a} vs {self.label_b}",
+            f"  utility: {self.utility_a:.6g} vs {self.utility_b:.6g} "
+            f"(rel diff {self.utility_rel_diff:.3g}, rtol {self.utility_rtol:.3g})",
+            f"  admitted rates: max |diff| {self.admitted_max_diff:.3g}",
+        ]
+        if self.flow_max_diff is not None:
+            lines.append(f"  flows: max |diff| {self.flow_max_diff:.3g}")
+        if self.bit_identical is not None:
+            lines.append(
+                "  bit-identical: " + ("yes" if self.bit_identical else "NO")
+                + (" (required)" if self.require_bit_identical else "")
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        def _f(x: Optional[float]) -> Optional[float]:
+            return None if x is None or not np.isfinite(x) else float(x)
+
+        return {
+            "schema": "repro.oracle/1",
+            "passed": self.passed,
+            "a": self.label_a,
+            "b": self.label_b,
+            "utility_a": _f(self.utility_a),
+            "utility_b": _f(self.utility_b),
+            "utility_rel_diff": _f(self.utility_rel_diff),
+            "admitted_max_diff": _f(self.admitted_max_diff),
+            "flow_max_diff": _f(self.flow_max_diff),
+            "trajectories_equal": self.trajectories_equal,
+            "bit_identical": self.bit_identical,
+            "utility_rtol": _f(self.utility_rtol),
+            "admitted_atol": _f(self.admitted_atol),
+            "require_bit_identical": self.require_bit_identical,
+            "validation_passed": self.validation_passed,
+        }
+
+
+class DifferentialOracle:
+    """Runs two algorithm specs on one workload and diffs the outcomes.
+
+    Parameters
+    ----------
+    utility_rtol:
+        Enforced relative tolerance on the final utilities.  The default
+        (0.1) covers the eps-barrier headroom of the penalised gradient
+        methods against the unpenalised exact optimum.
+    admitted_atol:
+        Optional absolute tolerance on per-commodity admitted rates.
+        ``None`` (default) reports the diff without enforcing it --
+        degenerate optima make rate agreement a choice, not a law.
+    """
+
+    def __init__(
+        self,
+        utility_rtol: float = 0.1,
+        admitted_atol: Optional[float] = None,
+    ):
+        self.utility_rtol = utility_rtol
+        self.admitted_atol = admitted_atol
+
+    def compare(
+        self,
+        stream_network,
+        spec_a: AlgorithmSpec,
+        spec_b: AlgorithmSpec,
+        validate: Any = False,
+        require_bit_identical: bool = False,
+    ) -> OracleReport:
+        """Solve the workload under both specs and diff the results.
+
+        ``validate=`` is forwarded to :func:`repro.solve`, so each side can
+        additionally be audited against the invariant catalog (the report's
+        ``validation_passed`` then gates ``passed`` too).
+        """
+        from repro import solve  # runtime import: repro.validate loads first
+
+        results = []
+        for spec in (spec_a, spec_b):
+            results.append(
+                solve(
+                    stream_network,
+                    method=spec.method,
+                    config=spec.config,
+                    workers=spec.workers,
+                    full_result=True,
+                    validate=validate,
+                )
+            )
+        result_a, result_b = results
+        sol_a, sol_b = result_a.solution, result_b.solution
+        ext = sol_a.ext
+
+        utility_a = float(sol_a.utility)
+        utility_b = float(sol_b.utility)
+        rel = abs(utility_a - utility_b) / max(1.0, abs(utility_a), abs(utility_b))
+        admitted_diff = float(
+            np.abs(np.asarray(sol_a.admitted) - np.asarray(sol_b.admitted)).max()
+        )
+
+        flows_a = solution_flows(ext, sol_a)
+        flows_b = solution_flows(sol_b.ext, sol_b)
+        flow_diff: Optional[float] = None
+        if flows_a is not None and flows_b is not None:
+            flow_diff = float(np.abs(flows_a - flows_b).max())
+
+        utils_a = np.asarray(result_a.utilities)
+        utils_b = np.asarray(result_b.utilities)
+        trajectories_equal: Optional[bool] = None
+        if utils_a.shape == utils_b.shape and utils_a.size > 1 and utils_b.size > 1:
+            trajectories_equal = bool(np.array_equal(utils_a, utils_b))
+
+        bit_identical: Optional[bool] = None
+        if sol_a.routing is not None and sol_b.routing is not None:
+            bit_identical = bool(
+                np.array_equal(sol_a.routing.phi, sol_b.routing.phi)
+                and np.array_equal(
+                    np.asarray(sol_a.admitted), np.asarray(sol_b.admitted)
+                )
+                and (trajectories_equal is not False)
+            )
+        elif require_bit_identical:
+            bit_identical = False  # nothing comparable at the bit level
+
+        validation_passed: Optional[bool] = None
+        if validate:
+            reports = [getattr(r, "validation", None) for r in results]
+            validation_passed = all(rep is not None and rep.passed for rep in reports)
+
+        return OracleReport(
+            label_a=spec_a.name,
+            label_b=spec_b.name,
+            utility_a=utility_a,
+            utility_b=utility_b,
+            utility_rel_diff=rel,
+            admitted_max_diff=admitted_diff,
+            flow_max_diff=flow_diff,
+            trajectories_equal=trajectories_equal,
+            bit_identical=bit_identical,
+            utility_rtol=self.utility_rtol,
+            admitted_atol=self.admitted_atol,
+            require_bit_identical=require_bit_identical,
+            validation_passed=validation_passed,
+        )
+
+    def compare_backends(
+        self,
+        stream_network,
+        workers: int = 2,
+        method: str = "gradient",
+        config: Any = None,
+        validate: Any = False,
+    ) -> OracleReport:
+        """Serial vs process-parallel on the same workload: must be bit-equal.
+
+        This is the oracle form of the determinism contract in
+        docs/parallelism.md -- the report fails unless the full routing
+        matrix, the admitted rates, and every recorded utility agree
+        exactly across backends.
+        """
+        spec_a = AlgorithmSpec(
+            method=method, config=config, label=f"{method}[serial]"
+        )
+        spec_b = AlgorithmSpec(method=method, config=config, workers=workers)
+        return self.compare(
+            stream_network,
+            spec_a,
+            spec_b,
+            validate=validate,
+            require_bit_identical=True,
+        )

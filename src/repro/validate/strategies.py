@@ -1,0 +1,138 @@
+"""Shared instance and routing generators for randomized testing.
+
+One generator layer used by three consumers: the property tests in
+``tests/test_properties.py`` (where these helpers originally lived
+inline), the differential-oracle fuzz sweep (``benchmarks/fuzz_oracle.py``,
+seed-matrixed in CI), and the self-test machinery of
+:mod:`repro.validate.faults`.  Everything here is seed-deterministic --
+same spec + same seed gives bit-identical instances (a property test pins
+this) -- which is what makes the CI seed matrix reproducible.
+
+The hypothesis strategies are created lazily so the library itself never
+imports ``hypothesis`` (it is a test-only dependency).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.routing import RoutingState, uniform_routing, validate_routing
+from repro.core.transform import ExtendedNetwork, build_extended_network
+from repro.workloads import diamond_network, figure1_network, random_stream_network
+from repro.workloads.random_network import RandomNetworkSpec
+
+__all__ = [
+    "NETWORK_FACTORIES",
+    "named_extended_network",
+    "random_routing",
+    "small_random_spec",
+    "random_extended_network",
+    "oracle_seed_matrix",
+    "seeds",
+    "network_names",
+]
+
+# the named paper instances randomized tests draw from
+NETWORK_FACTORIES = {
+    "diamond": diamond_network,
+    "figure1": figure1_network,
+}
+
+_EXT_CACHE: Dict[str, ExtendedNetwork] = {}
+
+
+def named_extended_network(name: str) -> ExtendedNetwork:
+    """The extended network of a named paper instance (cached per process)."""
+    if name not in _EXT_CACHE:
+        try:
+            factory = NETWORK_FACTORIES[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown network {name!r}; expected one of "
+                f"{sorted(NETWORK_FACTORIES)}"
+            ) from None
+        _EXT_CACHE[name] = build_extended_network(factory())
+    return _EXT_CACHE[name]
+
+
+def random_routing(
+    ext: ExtendedNetwork, seed: int, interior: bool = True
+) -> RoutingState:
+    """A valid random routing decision on ``ext``, deterministic in ``seed``.
+
+    ``interior=True`` biases every fraction strictly positive (adds 0.05
+    to each weight before normalising), which keeps the routing away from
+    the boundary of the simplex -- useful for tests that perturb it.
+    """
+    rng = np.random.default_rng(seed)
+    routing = uniform_routing(ext)
+    for view in ext.commodities:
+        j = view.index
+        for node in view.node_indices:
+            if node == view.sink:
+                continue
+            out = ext.commodity_out_edges[j][node]
+            if not out:
+                continue
+            weights = rng.random(len(out)) + (0.05 if interior else 0.0)
+            if weights.sum() == 0:
+                weights[0] = 1.0
+            routing.phi[j, out] = weights / weights.sum()
+    validate_routing(ext, routing)
+    return routing
+
+
+def small_random_spec(**overrides) -> RandomNetworkSpec:
+    """The oracle's instance family: small enough for a CI seed matrix,
+    deep enough (3-4 layers, 2 commodities) to exercise shared congestion."""
+    params = dict(
+        num_nodes=16,
+        num_commodities=2,
+        depth_range=(3, 4),
+        layer_width_range=(2, 3),
+    )
+    params.update(overrides)
+    return RandomNetworkSpec(**params)
+
+
+def random_extended_network(
+    seed: int, spec: Optional[RandomNetworkSpec] = None
+) -> ExtendedNetwork:
+    """Extended network of a random instance from :func:`small_random_spec`."""
+    return build_extended_network(
+        random_stream_network(spec if spec is not None else small_random_spec(),
+                              seed=seed)
+    )
+
+
+def oracle_seed_matrix(env: Optional[str] = None) -> List[int]:
+    """The CI seed matrix: ``FUZZ_SEEDS`` (comma/space separated) or 0-4.
+
+    The fuzz sweep parametrizes over this so a CI matrix job can slice the
+    seed set with one environment variable.
+    """
+    raw = env if env is not None else os.environ.get("FUZZ_SEEDS", "0,1,2,3,4")
+    tokens = raw.replace(",", " ").split()
+    if not tokens:
+        raise ValueError("FUZZ_SEEDS resolved to an empty seed list")
+    return [int(tok) for tok in tokens]
+
+
+# -- hypothesis strategies (lazy: hypothesis is a test-only dependency) ------------
+
+
+def seeds(max_value: int = 10**6):
+    """``st.integers(0, max_value)`` -- the canonical seed strategy."""
+    from hypothesis import strategies as st
+
+    return st.integers(0, max_value)
+
+
+def network_names():
+    """Strategy over the named paper instances of :data:`NETWORK_FACTORIES`."""
+    from hypothesis import strategies as st
+
+    return st.sampled_from(sorted(NETWORK_FACTORIES))

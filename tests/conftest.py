@@ -1,11 +1,30 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite, plus the hypothesis profiles.
+
+Property tests run under one of two registered profiles, selected by the
+``HYPOTHESIS_PROFILE`` environment variable (CI exports ``ci``):
+
+``dev`` (default)
+    20 examples per property, for fast local iteration.
+``ci``
+    100 examples per property, for the thorough sweep.
+
+Both disable the per-example deadline: a single flow solve on a slow
+shared runner can blow a wall-clock budget without anything being wrong.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import build_extended_network
+
+settings.register_profile("ci", max_examples=100, deadline=None)
+settings.register_profile("dev", max_examples=20, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.core.gradient import GradientConfig
 from repro.core.marginals import CostModel
 from repro.workloads import (

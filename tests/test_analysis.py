@@ -140,3 +140,30 @@ class TestAsciiPlot:
     def test_flat_series_does_not_crash(self):
         text = ascii_plot([("flat", [0, 1, 2], [5.0, 5.0, 5.0])])
         assert "flat" in text
+
+    def test_log_x_clamps_nonpositive_samples(self):
+        """Iteration 0 on a log axis is clamped to the smallest positive x."""
+        text = ascii_plot([("s", [0, 1, 100], [1.0, 2.0, 3.0])], log_x=True)
+        assert "log scale" in text
+
+    def test_log_x_with_no_positive_samples_uses_unit_floor(self):
+        text = ascii_plot([("s", [0, 0], [1.0, 2.0])], log_x=True)
+        assert "s" in text  # renders rather than dividing by zero
+
+    def test_single_point_widens_both_axes(self):
+        text = ascii_plot([("dot", [3.0], [7.0])])
+        assert "7" in text  # y-axis label survives the degenerate range
+
+    def test_axis_labels_in_footer(self):
+        text = ascii_plot(
+            [("s", [0, 1], [0.0, 1.0])], x_label="iteration", y_label="utility"
+        )
+        assert "[iteration]" in text
+        assert "[utility]" in text
+
+    def test_markers_cycle_past_the_palette(self):
+        series = [(f"s{i}", [0, 1], [float(i), float(i)]) for i in range(8)]
+        text = ascii_plot(series)
+        legend = text.splitlines()[-1]
+        # 8th series wraps around to the first marker
+        assert "* s0" in legend and "* s7" in legend

@@ -164,3 +164,50 @@ class TestPlaceTaskChain:
                 max_rate=5.0,
                 name="S1",
             )
+
+    def test_chain_length_must_be_positive(self):
+        with pytest.raises(ModelError, match="chain_length"):
+            feasible_hosts(grid_physical(), 0, "src", "sink")
+
+    def test_no_reuse_exhausts_hosts_on_cyclic_chain(self):
+        """A chain revisiting a layer runs out of fresh servers: the no-reuse
+        rule ("a server is assigned at most one task for each commodity")
+        must fail loudly, not silently double-book."""
+        net = PhysicalNetwork()
+        net.add_server("src", 50.0)
+        net.add_server("a", 40.0)
+        net.add_server("b", 30.0)
+        net.add_sink("sink")
+        net.add_link("src", "a", bandwidth=40.0)
+        net.add_link("a", "b", bandwidth=40.0)
+        net.add_link("b", "a", bandwidth=40.0)
+        net.add_link("a", "sink", bandwidth=40.0)
+        background = StreamNetwork(physical=net)
+        tasks = [Task(f"t{i}", cost=1.0, gain=1.0) for i in range(4)]
+        # hop layers are {src}, {a}, {b}, {a}: the last task's only host is
+        # already taken by task 1
+        with pytest.raises(ModelError, match="no feasible host left"):
+            place_task_chain(
+                background, tasks, "src", "sink", 10.0, max_replicas=1
+            )
+
+    def test_empty_background_baseline_is_zero(self):
+        result = place_task_chain(
+            self.empty_background(), self.TASKS, "src", "sink", 30.0
+        )
+        assert result.baseline == 0.0
+        assert result.marginal_utility == result.score
+
+    def test_score_trace_starts_at_greedy_seed(self):
+        result = place_task_chain(
+            self.empty_background(), self.TASKS, "src", "sink", 30.0
+        )
+        assert result.score_trace[0] <= result.score + 1e-9
+        assert result.score_trace[-1] == pytest.approx(result.score)
+
+    def test_max_moves_zero_keeps_greedy_seed(self):
+        greedy = place_task_chain(
+            self.empty_background(), self.TASKS, "src", "sink", 30.0, max_moves=0
+        )
+        assert len(greedy.score_trace) == 1
+        assert greedy.score == pytest.approx(greedy.score_trace[0])

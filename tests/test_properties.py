@@ -2,14 +2,17 @@
 
 These encode the structural invariants the whole system rests on, checked
 over randomised routings, workloads, and events rather than hand-picked
-cases.
+cases.  The generators live in :mod:`repro.validate.strategies` so the CI
+fuzz sweep and the differential oracle draw from the same distribution;
+example counts are governed by the profiles registered in ``conftest.py``
+(``HYPOTHESIS_PROFILE=ci`` for the thorough sweep).
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro import build_extended_network
@@ -21,48 +24,26 @@ from repro.core.routing import (
     feasibility_report,
     resource_usage,
     solve_traffic,
-    uniform_routing,
     validate_routing,
 )
+from repro.io import network_to_dict
 from repro.online import LinkFailure, apply_event, emergency_shed, remap_routing
-from repro.workloads import diamond_network, figure1_network
-
-EXTS = {}
-
-
-def get_ext(name):
-    if name not in EXTS:
-        factory = {"diamond": diamond_network, "figure1": figure1_network}[name]
-        EXTS[name] = build_extended_network(factory())
-    return EXTS[name]
-
-
-def random_routing(ext, seed, interior=True):
-    rng = np.random.default_rng(seed)
-    routing = uniform_routing(ext)
-    for view in ext.commodities:
-        j = view.index
-        for node in view.node_indices:
-            if node == view.sink:
-                continue
-            out = ext.commodity_out_edges[j][node]
-            if not out:
-                continue
-            weights = rng.random(len(out)) + (0.05 if interior else 0.0)
-            if weights.sum() == 0:
-                weights[0] = 1.0
-            routing.phi[j, out] = weights / weights.sum()
-    validate_routing(ext, routing)
-    return routing
+from repro.validate.strategies import (
+    named_extended_network,
+    network_names,
+    random_routing,
+    seeds,
+    small_random_spec,
+)
+from repro.workloads import diamond_network, figure1_network, random_stream_network
 
 
 class TestFlowConservation:
     """Eq. (7): gain-aware conservation at every interior node, for any phi."""
 
-    @given(seed=st.integers(0, 10**6), name=st.sampled_from(["diamond", "figure1"]))
-    @settings(max_examples=60, deadline=None)
+    @given(seed=seeds(), name=network_names())
     def test_conservation_holds(self, seed, name):
-        ext = get_ext(name)
+        ext = named_extended_network(name)
         routing = random_routing(ext, seed)
         traffic = solve_traffic(ext, routing)
         flows = commodity_edge_flows(ext, routing, traffic)
@@ -82,11 +63,10 @@ class TestFlowConservation:
                 external = view.max_rate if node == view.dummy else 0.0
                 assert outflow == pytest.approx(inflow + external, abs=1e-9)
 
-    @given(seed=st.integers(0, 10**6))
-    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds())
     def test_traffic_scales_linearly_with_phi_split(self, seed):
         """Admitted rate equals lambda times the input fraction."""
-        ext = get_ext("figure1")
+        ext = named_extended_network("figure1")
         routing = random_routing(ext, seed)
         admitted = admitted_rates(ext, routing)
         for view in ext.commodities:
@@ -95,10 +75,9 @@ class TestFlowConservation:
 
 
 class TestObjectiveIdentities:
-    @given(seed=st.integers(0, 10**6), eps=st.floats(0.01, 1.0))
-    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds(), eps=st.floats(0.01, 1.0))
     def test_utility_plus_loss_is_offered_value(self, seed, eps):
-        ext = get_ext("figure1")
+        ext = named_extended_network("figure1")
         routing = random_routing(ext, seed)
         breakdown = evaluate_cost(ext, routing, CostModel(eps=eps))
         offered = sum(
@@ -108,10 +87,9 @@ class TestObjectiveIdentities:
             offered, rel=1e-9
         )
 
-    @given(seed=st.integers(0, 10**6))
-    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds())
     def test_cost_nonnegative_and_finite(self, seed):
-        ext = get_ext("diamond")
+        ext = named_extended_network("diamond")
         routing = random_routing(ext, seed)
         breakdown = evaluate_cost(ext, routing, CostModel(eps=0.2))
         assert np.isfinite(breakdown.total)
@@ -120,10 +98,9 @@ class TestObjectiveIdentities:
 
 
 class TestGammaInvariants:
-    @given(seed=st.integers(0, 10**6), eta=st.floats(0.001, 0.3))
-    @settings(max_examples=40, deadline=None)
+    @given(seed=seeds(), eta=st.floats(0.001, 0.3))
     def test_step_preserves_validity_and_boundedness(self, seed, eta):
-        ext = get_ext("diamond")
+        ext = named_extended_network("diamond")
         algo = GradientAlgorithm(ext, GradientConfig(eta=eta))
         routing = random_routing(ext, seed)
         for __ in range(3):
@@ -136,15 +113,14 @@ class TestGammaInvariants:
 
 class TestOnlineInvariants:
     @given(
-        seed=st.integers(0, 10**6),
+        seed=seeds(),
         link_index=st.integers(0, 13),
     )
-    @settings(max_examples=30, deadline=None)
     def test_remap_after_any_single_link_failure_is_valid(self, seed, link_index):
         network = figure1_network()
         links = sorted(network.physical.links)
         link = links[link_index % len(links)]
-        ext = get_ext("figure1")
+        ext = named_extended_network("figure1")
         routing = random_routing(ext, seed)
         try:
             rebuilt = apply_event(network, LinkFailure(at_iteration=1, link=link))
@@ -154,8 +130,7 @@ class TestOnlineInvariants:
         carried = remap_routing(ext, routing, new_ext)
         validate_routing(new_ext, carried)
 
-    @given(seed=st.integers(0, 10**6), target=st.floats(0.3, 1.0))
-    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds(), target=st.floats(0.3, 1.0))
     def test_emergency_shed_meets_any_target(self, seed, target):
         ext = build_extended_network(
             diamond_network(top_capacity=3.0, bottom_capacity=3.0,
@@ -169,12 +144,11 @@ class TestOnlineInvariants:
 
 
 class TestUsageMonotonicity:
-    @given(seed=st.integers(0, 10**6), bump=st.floats(0.01, 0.5))
-    @settings(max_examples=30, deadline=None)
+    @given(seed=seeds(), bump=st.floats(0.01, 0.5))
     def test_admitting_more_never_reduces_usage(self, seed, bump):
         """Shifting dummy mass from the difference link to the input link
         weakly increases resource usage at every node."""
-        ext = get_ext("diamond")
+        ext = named_extended_network("diamond")
         routing = random_routing(ext, seed)
         view = ext.commodities[0]
         phi_in = routing.phi[0, view.input_edge]
@@ -186,3 +160,22 @@ class TestUsageMonotonicity:
         __, more_usage = resource_usage(ext, more)
         finite = np.isfinite(ext.capacity)
         assert np.all(more_usage[finite] >= base_usage[finite] - 1e-9)
+
+
+class TestSeedDeterminism:
+    """``random_stream_network`` is a pure function of (spec, seed)."""
+
+    @given(seed=st.integers(0, 10**4))
+    def test_same_seed_same_network(self, seed):
+        spec = small_random_spec()
+        a = random_stream_network(spec, seed=seed)
+        b = random_stream_network(spec, seed=seed)
+        assert network_to_dict(a) == network_to_dict(b)
+
+    def test_different_seeds_differ(self):
+        spec = small_random_spec()
+        docs = {
+            str(network_to_dict(random_stream_network(spec, seed=s)))
+            for s in range(8)
+        }
+        assert len(docs) > 1

@@ -195,3 +195,46 @@ class TestTraces:
             mmpp_trace(rates=np.array([]))
         with pytest.raises(ModelError):
             trace_stats(np.array([]))
+
+    def test_more_bad_args(self):
+        with pytest.raises(ModelError):
+            constant_trace(1.0, 0)
+        with pytest.raises(ModelError):
+            poisson_trace(-1.0, 10)
+        with pytest.raises(ModelError):
+            onoff_trace(-1.0, 10)
+        with pytest.raises(ModelError):
+            onoff_trace(1.0, 10, mean_burst_length=0.0)
+        with pytest.raises(ModelError):
+            mmpp_trace(mean_state_length=1.0)
+        with pytest.raises(ModelError):
+            mmpp_trace(rates=np.array([[1.0, 2.0]]))  # not 1-D
+        with pytest.raises(ModelError):
+            mmpp_trace(rates=np.array([1.0, -2.0]))  # negative intensity
+
+    def test_onoff_deterministic_and_burst_structured(self):
+        a = onoff_trace(10.0, 500, mean_burst_length=8.0, seed=9)
+        b = onoff_trace(10.0, 500, mean_burst_length=8.0, seed=9)
+        np.testing.assert_array_equal(a, b)
+        # longer bursts -> fewer ON/OFF transitions than independent coin flips
+        transitions = int(np.count_nonzero(np.diff(a)))
+        assert transitions < 250
+
+    def test_mmpp_deterministic_and_single_state_is_poisson(self):
+        a = mmpp_trace(num_slots=400, seed=5)
+        b = mmpp_trace(num_slots=400, seed=5)
+        np.testing.assert_array_equal(a, b)
+        # one modulating state degenerates to a plain Poisson stream
+        single = mmpp_trace(rates=np.array([6.0]), num_slots=20000, seed=5)
+        assert single.mean() == pytest.approx(6.0, rel=0.05)
+
+    def test_trace_stats_zero_mean_is_infinitely_bursty(self):
+        stats = trace_stats(np.zeros(10))
+        assert stats.mean == 0.0
+        assert stats.burstiness == float("inf")
+        assert stats.coefficient_of_variation == float("inf")
+
+    def test_trace_stats_constant_trace(self):
+        stats = trace_stats(constant_trace(4.0, 50))
+        assert stats.burstiness == pytest.approx(1.0)
+        assert stats.coefficient_of_variation == pytest.approx(0.0)
