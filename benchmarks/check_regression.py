@@ -31,7 +31,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List
 
-GATED_DOCUMENTS = ["BENCH_ITERCORE.json", "BENCH_PARALLEL.json"]
+GATED_DOCUMENTS = ["BENCH_ITERCORE.json", "BENCH_PARALLEL.json", "BENCH_CHURN.json"]
 
 # substrings marking wall-clock metrics: reported, never gated
 TIMING_MARKERS = ("seconds", "us_per", "speedup")

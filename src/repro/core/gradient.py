@@ -362,6 +362,17 @@ class GradientAlgorithm:
         self.backend = backend
         backend.bind(self.ext, self.config)
 
+    def refresh(self, applied) -> None:
+        """Advance the bound model one epoch.
+
+        ``applied`` is a :class:`repro.core.delta.AppliedDelta`.  The
+        execution backend republishes only what the delta dirtied -- in
+        particular a :class:`repro.parallel.ParallelBackend` keeps its
+        worker pool alive across the refresh.
+        """
+        self.ext = applied.ext
+        self.backend.refresh(applied)
+
     # -- one application of Gamma ------------------------------------------------
     def compute_context(
         self, routing: RoutingState, instrumentation=None

@@ -48,6 +48,7 @@ __all__ = [
     "MergedWavePlan",
     "MergedEdgeList",
     "ExtendedNetwork",
+    "ExtSkeleton",
     "build_extended_network",
 ]
 
@@ -266,6 +267,12 @@ class ExtendedNetwork:
         self.num_edges = len(edges)
         self.num_commodities = len(commodities)
 
+        # model version number: 0 for a from-scratch build, bumped by one
+        # for every event applied through the delta path (repro.core.delta).
+        # Scalar deltas bump it in place; structural deltas produce a new
+        # ExtendedNetwork carrying ``old.epoch + 1``.
+        self.epoch = 0
+
         self.capacity = np.array([n.capacity for n in nodes], dtype=float)
         self.edge_tail = np.array([e.tail for e in edges], dtype=int)
         self.edge_head = np.array([e.head for e in edges], dtype=int)
@@ -326,6 +333,13 @@ class ExtendedNetwork:
         self._merged_reverse_plan: Optional[MergedWavePlan] = None
         self._merged_gamma_plan: Optional[CommodityGammaPlan] = None
         self._merged_edge_list: Optional[MergedEdgeList] = None
+
+        # the canonical layout this network was built from; set by
+        # build_extended_network and the delta splicer.  The splicer reads
+        # it to translate old indices into the new layout through the
+        # skeleton's own link/commodity tables instead of re-deriving a
+        # per-edge key for every old edge (see repro.core.delta._splice).
+        self._skeleton: Optional["ExtSkeleton"] = None
 
         # lazy caches filled in by the hot paths (routing / marginals /
         # blocking); declared here so the attributes are part of the type.
@@ -432,8 +446,7 @@ class ExtendedNetwork:
         total = 0
         unique_tails: List[bool] = []
         for level in range(num_levels):
-            level_heads: List[int] = []
-            level_tails: List[int] = []
+            first_part = len(heads)
             for j, plan in enumerate(plans):
                 num_blocks = len(plan.offsets) - 1
                 b = (num_blocks - 1 - level) if reverse else level
@@ -446,12 +459,20 @@ class ExtendedNetwork:
                 heads.append(plan.heads[s:e] + j * V)
                 gains.append(plan.gains[s:e])
                 costs.append(plan.costs[s:e])
-                level_heads.extend((plan.heads[s:e] + j * V).tolist())
-                level_tails.extend((plan.tails[s:e] + j * V).tolist())
                 total += e - s
             offsets.append(total)
-            unique.append(len(set(level_heads)) == len(level_heads))
-            unique_tails.append(len(set(level_tails)) == len(level_tails))
+            level_heads = (
+                np.concatenate(heads[first_part:])
+                if len(heads) > first_part
+                else np.empty(0, dtype=np.intp)
+            )
+            level_tails = (
+                np.concatenate(tails[first_part:])
+                if len(tails) > first_part
+                else np.empty(0, dtype=np.intp)
+            )
+            unique.append(int(np.unique(level_heads).size) == level_heads.size)
+            unique_tails.append(int(np.unique(level_tails).size) == level_tails.size)
 
         def cat(parts, dtype):
             return (
@@ -586,6 +607,25 @@ class ExtendedNetwork:
                     g[j, self.edge_head[e]] = g[j, node] * self.gain[j, e]
         return g
 
+    # -- delta API (implemented in repro.core.delta; imported lazily to keep
+    # the transform layer importable on its own) -----------------------------------
+    def compile_delta(self, event: Any) -> "Any":
+        """Compile a network event into a :class:`repro.core.delta.ProblemDelta`."""
+        from repro.core.delta import compile_event
+
+        return compile_event(self, event)
+
+    def apply_delta(self, delta: Any) -> "Any":
+        """Apply a compiled delta, advancing one epoch.
+
+        Returns a :class:`repro.core.delta.AppliedDelta`; scalar deltas
+        mutate this network in place, structural deltas return a spliced
+        successor (this object stays valid at its old epoch).
+        """
+        from repro.core.delta import apply_delta
+
+        return apply_delta(self, delta)
+
     # -- helpers -------------------------------------------------------------------
     def node_index(self, name: str) -> int:
         try:
@@ -626,17 +666,32 @@ class ExtendedNetwork:
         )
 
 
-def build_extended_network(
-    stream_network: StreamNetwork, require_connected: bool = True
-) -> ExtendedNetwork:
-    """Apply both transformations of Section 3 to a :class:`StreamNetwork`.
+@dataclass
+class ExtSkeleton:
+    """Steps 1-3 of the transformation: the canonical node/edge layout.
 
-    Only physical links actually used by some commodity (``E = union E_j``)
-    receive bandwidth nodes; unused links cannot carry flow in any solution.
-    ``require_connected=False`` permits post-failure topologies that have
-    split into islands (see :mod:`repro.online`).
+    The layout is a pure function of the stream network: physical nodes in
+    insertion order, one bandwidth node per used link in first-use order,
+    one dummy source per commodity in commodity order; edges are the two
+    replacements of each used link followed by the two dummy links of each
+    commodity.  Both :func:`build_extended_network` and the delta splicer
+    (:mod:`repro.core.delta`) lay out their networks through this single
+    code path, which is what makes an incrementally spliced network
+    bit-identical to a from-scratch rebuild.  The views carry only the
+    direct fields; ``edge_indices``/``node_indices``/``topo_order`` are
+    filled later (:func:`_fill_commodity_row` or the delta remap).
     """
-    stream_network.validate(require_connected=require_connected)
+
+    nodes: List[ExtNode]
+    edges: List[ExtEdge]
+    views: List[CommodityView]
+    used_links: List[Edge]
+    processing_edge_of: Dict[Edge, int]
+    transfer_edge_of: Dict[Edge, int]
+    name_to_index: Dict[str, int]
+
+
+def _build_skeleton(stream_network: StreamNetwork) -> ExtSkeleton:
     physical = stream_network.physical
 
     used_links: List[Edge] = []
@@ -729,61 +784,109 @@ def build_extended_network(
             )
         )
 
-    num_nodes, num_edges = len(nodes), len(edges)
-    num_commodities = len(views)
+    return ExtSkeleton(
+        nodes=nodes,
+        edges=edges,
+        views=views,
+        used_links=used_links,
+        processing_edge_of=processing_edge_of,
+        transfer_edge_of=transfer_edge_of,
+        name_to_index=name_to_index,
+    )
+
+
+def _fill_commodity_row(
+    j: int,
+    commodity: Any,
+    skeleton: ExtSkeleton,
+    cost: np.ndarray,
+    gain: np.ndarray,
+    allowed: np.ndarray,
+) -> None:
+    """Fill row ``j`` of cost/gain/allowed and derive the view's graph fields.
+
+    This is the per-commodity half of the transformation: the cost/gain
+    tables, the sorted allowed edge set, the DAG check, and the topological
+    order.  It is the expensive (networkx) part the delta path skips for
+    untouched commodities.
+    """
+    view = skeleton.views[j]
+    edges = skeleton.edges
+    edge_indices: List[int] = []
+    for (tail_name, head_name) in commodity.edges:
+        pe = skeleton.processing_edge_of[(tail_name, head_name)]
+        te = skeleton.transfer_edge_of[(tail_name, head_name)]
+        cost[j, pe] = commodity.cost(tail_name, head_name)
+        gain[j, pe] = commodity.gain(tail_name, head_name)
+        allowed[j, pe] = True
+        cost[j, te] = 1.0  # bandwidth node: one unit of bandwidth per unit flow
+        gain[j, te] = 1.0
+        allowed[j, te] = True
+        edge_indices.extend((pe, te))
+    for e in (view.input_edge, view.difference_edge):
+        cost[j, e] = 1.0
+        gain[j, e] = 1.0
+        allowed[j, e] = True
+        edge_indices.append(e)
+    view.edge_indices = sorted(edge_indices)
+
+    subgraph = nx.DiGraph()
+    for e_idx in view.edge_indices:
+        subgraph.add_edge(edges[e_idx].tail, edges[e_idx].head)
+    if not nx.is_directed_acyclic_graph(subgraph):
+        raise TransformError(
+            f"commodity {commodity.name!r}: extended subgraph is not a DAG"
+        )
+    view.node_indices = sorted(subgraph.nodes())
+    view.topo_order = list(nx.topological_sort(subgraph))
+
+
+def _check_bookkeeping(
+    extended: ExtendedNetwork, n_phys: int, m_used: int, j_count: int
+) -> None:
+    """The paper's size check: ``N + M + J`` nodes and ``2M + 2J`` edges."""
+    if extended.num_nodes != n_phys + m_used + j_count:
+        raise TransformError("extended node count violates the paper's bookkeeping")
+    if extended.num_edges != 2 * m_used + 2 * j_count:
+        raise TransformError("extended edge count violates the paper's bookkeeping")
+
+
+def build_extended_network(
+    stream_network: StreamNetwork, require_connected: bool = True
+) -> ExtendedNetwork:
+    """Apply both transformations of Section 3 to a :class:`StreamNetwork`.
+
+    Only physical links actually used by some commodity (``E = union E_j``)
+    receive bandwidth nodes; unused links cannot carry flow in any solution.
+    ``require_connected=False`` permits post-failure topologies that have
+    split into islands (see :mod:`repro.online`).
+    """
+    stream_network.validate(require_connected=require_connected)
+    skeleton = _build_skeleton(stream_network)
+
+    num_edges = len(skeleton.edges)
+    num_commodities = len(skeleton.views)
     cost = np.zeros((num_commodities, num_edges), dtype=float)
     gain = np.ones((num_commodities, num_edges), dtype=float)
     allowed = np.zeros((num_commodities, num_edges), dtype=bool)
 
     for j, commodity in enumerate(stream_network.commodities):
-        view = views[j]
-        edge_indices: List[int] = []
-        for (tail_name, head_name) in commodity.edges:
-            pe = processing_edge_of[(tail_name, head_name)]
-            te = transfer_edge_of[(tail_name, head_name)]
-            cost[j, pe] = commodity.cost(tail_name, head_name)
-            gain[j, pe] = commodity.gain(tail_name, head_name)
-            allowed[j, pe] = True
-            cost[j, te] = 1.0  # bandwidth node: one unit of bandwidth per unit flow
-            gain[j, te] = 1.0
-            allowed[j, te] = True
-            edge_indices.extend((pe, te))
-        for e in (view.input_edge, view.difference_edge):
-            cost[j, e] = 1.0
-            gain[j, e] = 1.0
-            allowed[j, e] = True
-            edge_indices.append(e)
-        view.edge_indices = sorted(edge_indices)
-
-        subgraph = nx.DiGraph()
-        for e_idx in view.edge_indices:
-            subgraph.add_edge(edges[e_idx].tail, edges[e_idx].head)
-        if not nx.is_directed_acyclic_graph(subgraph):
-            raise TransformError(
-                f"commodity {commodity.name!r}: extended subgraph is not a DAG"
-            )
-        view.node_indices = sorted(subgraph.nodes())
-        view.topo_order = list(nx.topological_sort(subgraph))
+        _fill_commodity_row(j, commodity, skeleton, cost, gain, allowed)
 
     extended = ExtendedNetwork(
-        nodes=nodes,
-        edges=edges,
-        commodities=views,
+        nodes=skeleton.nodes,
+        edges=skeleton.edges,
+        commodities=skeleton.views,
         cost=cost,
         gain=gain,
         allowed=allowed,
         stream_network=stream_network,
     )
-
-    # paper's bookkeeping: N + M + J nodes, 2M + 2J edges, where M counts the
-    # *used* physical links.
-    n_phys, m_used, j_count = (
-        physical.num_nodes,
-        len(used_links),
+    _check_bookkeeping(
+        extended,
+        stream_network.physical.num_nodes,
+        len(skeleton.used_links),
         num_commodities,
     )
-    if extended.num_nodes != n_phys + m_used + j_count:
-        raise TransformError("extended node count violates the paper's bookkeeping")
-    if extended.num_edges != 2 * m_used + 2 * j_count:
-        raise TransformError("extended edge count violates the paper's bookkeeping")
+    extended._skeleton = skeleton
     return extended

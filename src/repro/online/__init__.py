@@ -8,6 +8,8 @@ running algorithm and quantify recovery.
 
 from repro.online.events import (
     CapacityChange,
+    CommodityArrival,
+    CommodityDeparture,
     DemandChange,
     LinkFailure,
     NetworkEvent,
@@ -28,6 +30,8 @@ from repro.online.rebuild import (
 
 __all__ = [
     "CapacityChange",
+    "CommodityArrival",
+    "CommodityDeparture",
     "DemandChange",
     "LinkFailure",
     "NetworkEvent",

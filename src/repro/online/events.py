@@ -10,8 +10,9 @@ running instance of the algorithm and measures re-convergence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
+from repro.core.commodity import Commodity
 from repro.exceptions import ModelError
 
 __all__ = [
@@ -20,6 +21,8 @@ __all__ = [
     "LinkFailure",
     "NodeFailure",
     "CapacityChange",
+    "CommodityArrival",
+    "CommodityDeparture",
 ]
 
 
@@ -88,3 +91,32 @@ class CapacityChange(NetworkEvent):
             raise ModelError("CapacityChange needs a node name")
         if not self.new_capacity > 0:
             raise ModelError("new_capacity must be > 0 (use NodeFailure instead)")
+
+
+@dataclass(frozen=True)
+class CommodityArrival(NetworkEvent):
+    """A new stream session joins the system.
+
+    ``commodity`` must be fully specified against the *current* physical
+    topology; admission control then decides how much of its offered rate
+    the system actually carries (Section 3's dummy-source construction).
+    """
+
+    commodity: Optional[Commodity] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.commodity is None:
+            raise ModelError("CommodityArrival needs a Commodity")
+
+
+@dataclass(frozen=True)
+class CommodityDeparture(NetworkEvent):
+    """The stream session named ``commodity`` leaves the system."""
+
+    commodity: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.commodity:
+            raise ModelError("CommodityDeparture needs a commodity name")

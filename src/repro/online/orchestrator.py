@@ -1,17 +1,30 @@
 """Online orchestration: run the algorithm through a timeline of events.
 
 :class:`OnlineOrchestrator` interleaves gradient iterations with network
-events (failures, demand surges, capacity changes).  At each event it
+events (failures, demand surges, capacity changes, commodity churn).  At
+each event it
 
-1. rebuilds the model (:func:`repro.online.rebuild.apply_event`),
-2. carries the routing state across (:func:`remap_routing`) -- a *warm
-   start*, exercising the paper's claim that reserved headroom speeds up
-   recovery,
+1. advances the model one *epoch* through the delta compiler
+   (:func:`repro.core.delta.compile_event` / ``apply_delta``): scalar
+   events patch the extended network in place, structural events splice a
+   successor re-deriving only the commodities the event touched,
+2. carries the routing state across at the array level
+   (:func:`repro.core.delta.carry_routing`) -- a *warm start*, exercising
+   the paper's claim that reserved headroom speeds up recovery,
 3. optionally applies :func:`emergency_shed` so hard capacities hold
    immediately, and
-4. keeps iterating, recording the utility trajectory and, per event, how
-   many iterations the algorithm needs to re-enter 95% of the *new*
-   optimum.
+4. refreshes the execution backend (``algo.refresh``) -- a parallel
+   backend republishes only dirty shared-memory segments and keeps its
+   worker pool alive -- then keeps iterating, recording the utility
+   trajectory and, per event, how many iterations the algorithm needs to
+   re-enter 95% of the *new* optimum.
+
+``incremental=False`` selects the legacy full-rebuild path
+(:func:`repro.online.rebuild.apply_event` + a from-scratch
+:func:`build_extended_network` + a fresh algorithm binding); it is kept as
+the oracle reference the delta path is validated against
+(``repro.validate.DifferentialOracle.compare_rebuild``) and produces
+bit-identical trajectories.
 
 A cold-start comparison (fresh shed-everything routing after each event) is
 available via ``warm_start=False``; the recovery benchmark contrasts the
@@ -28,6 +41,7 @@ import numpy as np
 
 from repro.analysis.convergence import iterations_to_fraction
 from repro.core.commodity import StreamNetwork
+from repro.core.delta import apply_delta, carry_routing, compile_event
 from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.core.marginals import evaluate_cost
 from repro.core.optimal import solve_optimal
@@ -64,6 +78,9 @@ class RecoveryReport:
     new_optimal_utility: float
     iterations_to_95: Optional[int]  # iterations after the event
     dropped_commodities: List[str] = field(default_factory=list)
+    # model epoch after the event (0 on the legacy full-rebuild path, which
+    # rebuilds from scratch and therefore restarts the version counter)
+    epoch: int = 0
 
     @property
     def utility_dip(self) -> float:
@@ -129,6 +146,9 @@ class OnlineOrchestrator:
         warm_start: bool = True,
         shed_on_event: bool = True,
         record_every: int = 10,
+        incremental: bool = True,
+        backend=None,
+        workers: Optional[int] = None,
     ) -> None:
         self.initial_network = network
         self.events = sorted(events, key=lambda e: e.at_iteration)
@@ -139,6 +159,13 @@ class OnlineOrchestrator:
         self.warm_start = warm_start
         self.shed_on_event = shed_on_event
         self.record_every = record_every
+        self.incremental = incremental
+        if backend is not None and workers is not None:
+            raise ModelError("pass either backend= or workers=, not both")
+        # a caller-supplied backend is borrowed (the caller closes it); one
+        # we build from workers= is owned and closed at the end of run()
+        self._backend = backend
+        self._workers = workers
 
     def run(self, total_iterations: int, instrumentation=None) -> OnlineResult:
         """Run the timeline; ``instrumentation`` logs network events,
@@ -146,9 +173,22 @@ class OnlineOrchestrator:
         if total_iterations < 1:
             raise ModelError("total_iterations must be >= 1")
         inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        from repro.parallel.backend import resolve_backend
+
+        backend = resolve_backend(self._backend, self._workers)
+        owns_backend = self._backend is None
+        try:
+            return self._run(total_iterations, inst, instrumentation, backend)
+        finally:
+            if owns_backend:
+                backend.close()
+
+    def _run(
+        self, total_iterations: int, inst, instrumentation, backend
+    ) -> OnlineResult:
         network = self.initial_network
         ext = build_extended_network(network)
-        algo = GradientAlgorithm(ext, self.config)
+        algo = GradientAlgorithm(ext, self.config, backend=backend)
         routing = initial_routing(ext)
 
         records: List[OnlineRecord] = []
@@ -197,23 +237,55 @@ class OnlineOrchestrator:
                         iteration=iteration,
                         detail=str(event),
                     )
-                with inst.phase("rebuild", event=type(event).__name__):
-                    rebuilt = apply_event(network, event)
-                    network = rebuilt.network
+                event_name = type(event).__name__
+                with inst.phase("rebuild", event=event_name):
                     old_ext = ext
-                    ext = build_extended_network(network, require_connected=False)
-                    if self.warm_start:
-                        routing = remap_routing(old_ext, routing, ext)
-                        if self.shed_on_event:
-                            routing = emergency_shed(ext, routing)
+                    if self.incremental:
+                        with inst.phase("rebuild.delta.compile", event=event_name):
+                            delta = compile_event(ext, event)
+                        with inst.phase("rebuild.delta.apply", event=event_name):
+                            applied = apply_delta(ext, delta)
+                        ext = applied.ext
+                        network = ext.stream_network
+                        dropped = list(delta.dropped_commodities)
+                        if self.warm_start:
+                            routing = carry_routing(
+                                old_ext, routing, ext, applied.maps
+                            )
+                            if self.shed_on_event:
+                                routing = emergency_shed(ext, routing)
+                        else:
+                            routing = initial_routing(ext)
+                        algo.refresh(applied)
+                        inst.count("rebuild.delta.applied")
+                        inst.count(f"rebuild.delta.{event_name}")
+                        inst.count(
+                            "rebuild.delta.structural"
+                            if applied.structural
+                            else "rebuild.delta.scalar"
+                        )
+                        inst.gauge("rebuild.epoch", float(ext.epoch))
                     else:
-                        routing = initial_routing(ext)
-                    algo = GradientAlgorithm(ext, self.config)
+                        rebuilt = apply_event(network, event)
+                        network = rebuilt.network
+                        ext = build_extended_network(
+                            network, require_connected=False
+                        )
+                        dropped = rebuilt.dropped_commodities
+                        if self.warm_start:
+                            routing = remap_routing(old_ext, routing, ext)
+                            if self.shed_on_event:
+                                routing = emergency_shed(ext, routing)
+                        else:
+                            routing = initial_routing(ext)
+                        algo = GradientAlgorithm(
+                            ext, self.config, backend=backend
+                        )
 
                 with inst.phase("reference_optimum"):
                     new_optimum = solve_optimal(ext).utility
                 post_utility = snapshot(
-                    iteration, event_label=type(event).__name__
+                    iteration, event_label=event_name
                 )
                 recoveries.append(
                     RecoveryReport(
@@ -223,7 +295,8 @@ class OnlineOrchestrator:
                         post_event_utility=post_utility,
                         new_optimal_utility=new_optimum,
                         iterations_to_95=None,  # filled below
-                        dropped_commodities=rebuilt.dropped_commodities,
+                        dropped_commodities=dropped,
+                        epoch=ext.epoch,
                     )
                 )
                 # fresh landscape: restart the step-scale adaptation

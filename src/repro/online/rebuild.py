@@ -3,15 +3,18 @@
 Three jobs:
 
 * :func:`apply_event` -- produce a *new* :class:`StreamNetwork` reflecting a
-  demand change, capacity change, or link/node failure.  Commodities whose
-  sink becomes unreachable are dropped (and reported): their traffic simply
-  cannot be served any more.
+  demand change, capacity change, link/node failure, or commodity
+  arrival/departure.  Commodities whose sink becomes unreachable are dropped
+  (and reported): their traffic simply cannot be served any more.  Commodity
+  objects untouched by the event are *shared* with the input network, which
+  is what lets the delta compiler (:mod:`repro.core.delta`) detect the dirty
+  set by object identity.
 * :func:`remap_routing` -- translate a routing state from the old extended
-  graph onto the new one.  Extended edges are identified by stable keys
-  (edge kind + physical link, or edge kind + commodity name for the dummy
-  links); fractions on vanished edges are redistributed proportionally, and
-  nodes with no surviving information fall back to the shed-everything
-  default, so the result is always a valid routing decision.
+  graph onto the new one via the array-level remap of
+  :func:`repro.core.delta.carry_routing`: surviving edges keep their
+  fractions (renormalised per node where mass was lost), nodes with no
+  surviving information fall back to the shed-everything default, so the
+  result is always a valid routing decision.
 * :func:`emergency_shed` -- after a capacity-reducing event the carried
   routing may oversubscribe surviving nodes.  This scales every commodity's
   admission down (moving the surplus onto the dummy difference link -- the
@@ -25,15 +28,16 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro.core.commodity import Commodity, StreamNetwork
+from repro.core.delta import build_index_maps, carry_routing
 from repro.core.network import NodeKind, PhysicalNetwork
-from repro.core.routing import RoutingState, feasibility_report, initial_routing
-from repro.core.transform import ExtendedNetwork, ExtEdgeKind
-from repro.exceptions import ModelError
+from repro.core.routing import RoutingState, feasibility_report
+from repro.core.transform import ExtendedNetwork
+from repro.exceptions import ModelError, ValidationError
 from repro.online.events import (
     CapacityChange,
+    CommodityArrival,
+    CommodityDeparture,
     DemandChange,
     LinkFailure,
     NetworkEvent,
@@ -90,7 +94,10 @@ def _rebuild_commodity(
 ) -> Optional[Commodity]:
     """Re-derive a commodity on a (possibly reduced) physical network.
 
-    Returns ``None`` when the sink is no longer reachable from the source.
+    Returns ``None`` when the sink is no longer reachable from the source
+    (or the reduced subgraph is otherwise unservable).  Only the expected
+    :class:`ValidationError` is treated as "commodity lost"; anything else
+    is a real bug and propagates.
     """
     surviving = [e for e in commodity.edges if physical.has_link(*e)]
     if commodity.source not in physical.nodes or commodity.sink not in physical.nodes:
@@ -111,24 +118,38 @@ def _rebuild_commodity(
             utility=commodity.utility,
             prune=True,
         )
-    except Exception:
+    except ValidationError:
         return None
 
 
 def apply_event(network: StreamNetwork, event: NetworkEvent) -> RebuildResult:
-    """Return the post-event model; never mutates the input network."""
+    """Return the post-event model; never mutates the input network.
+
+    Commodities the event does not touch are carried over as the *same*
+    objects (no deep copy, no re-derivation): a ``DemandChange`` rebuilds
+    only its target, a ``CapacityChange`` rebuilds nothing (commodities do
+    not reference node capacities), failures rebuild only the commodities
+    whose subgraph contains the failed element.  The delta compiler keys
+    its dirty-set detection off exactly this sharing.
+    """
     if isinstance(event, DemandChange):
-        names = [c.name for c in network.commodities]
-        if event.commodity not in names:
-            raise ModelError(f"unknown commodity {event.commodity!r}")
-        physical = _copy_physical(network.physical)
-        rebuilt = StreamNetwork(physical=physical)
+        target = network.commodity(event.commodity)  # raises on unknown name
+        physical = network.physical
+        commodities: List[Commodity] = []
         for commodity in network.commodities:
-            rate = event.new_rate if commodity.name == event.commodity else None
-            fresh = _rebuild_commodity(commodity, physical, new_rate=rate)
-            assert fresh is not None  # topology unchanged
-            rebuilt.add_commodity(fresh)
-        return RebuildResult(rebuilt, [])
+            if commodity is not target:
+                commodities.append(commodity)
+                continue
+            fresh = _rebuild_commodity(commodity, physical, new_rate=event.new_rate)
+            if fresh is None:
+                raise ModelError(
+                    f"commodity {commodity.name!r} became unservable under a "
+                    "pure demand change; the topology should be unchanged"
+                )
+            commodities.append(fresh)
+        return RebuildResult(
+            StreamNetwork(physical=physical, commodities=commodities), []
+        )
 
     if isinstance(event, CapacityChange):
         if event.node not in network.physical.nodes:
@@ -138,44 +159,72 @@ def apply_event(network: StreamNetwork, event: NetworkEvent) -> RebuildResult:
         physical = _copy_physical(
             network.physical, capacity_overrides={event.node: event.new_capacity}
         )
-        rebuilt = StreamNetwork(physical=physical)
-        for commodity in network.commodities:
-            fresh = _rebuild_commodity(commodity, physical)
-            assert fresh is not None
-            rebuilt.add_commodity(fresh)
-        return RebuildResult(rebuilt, [])
+        # commodities never reference node capacities -- share every object
+        return RebuildResult(
+            StreamNetwork(physical=physical, commodities=list(network.commodities)),
+            [],
+        )
+
+    if isinstance(event, CommodityArrival):
+        arriving = event.commodity
+        if arriving is None:  # pragma: no cover - rejected by the event itself
+            raise ModelError("CommodityArrival needs a Commodity")
+        if any(c.name == arriving.name for c in network.commodities):
+            raise ModelError(f"duplicate commodity {arriving.name!r}")
+        if any(c.sink == arriving.sink for c in network.commodities):
+            raise ModelError(
+                f"sink {arriving.sink!r} already serves another commodity "
+                "(paper, Section 2: one sink per commodity)"
+            )
+        arriving.validate_against(network.physical)
+        return RebuildResult(
+            StreamNetwork(
+                physical=network.physical,
+                commodities=list(network.commodities) + [arriving],
+            ),
+            [],
+        )
+
+    if isinstance(event, CommodityDeparture):
+        network.commodity(event.commodity)  # raises on unknown name
+        remaining = [c for c in network.commodities if c.name != event.commodity]
+        if not remaining:
+            raise ModelError("last commodity departed; nothing to run")
+        return RebuildResult(
+            StreamNetwork(physical=network.physical, commodities=remaining), []
+        )
 
     if isinstance(event, LinkFailure):
         if not network.physical.has_link(*event.link):
             raise ModelError(f"unknown link {event.link!r}")
         physical = _copy_physical(network.physical, drop_links={event.link})
+        dirty = {c.name for c in network.commodities if event.link in c.edges}
     elif isinstance(event, NodeFailure):
         if event.node not in network.physical.nodes:
             raise ModelError(f"unknown node {event.node!r}")
         if network.physical.node(event.node).is_sink:
             raise ModelError("modelling sink failure is not supported")
         physical = _copy_physical(network.physical, drop_nodes={event.node})
+        dirty = {c.name for c in network.commodities if event.node in c.potentials}
     else:
         raise ModelError(f"unknown event type {type(event).__name__}")
 
-    rebuilt = StreamNetwork(physical=physical)
+    commodities = []
     dropped: List[str] = []
     for commodity in network.commodities:
+        if commodity.name not in dirty:
+            commodities.append(commodity)
+            continue
         fresh = _rebuild_commodity(commodity, physical)
         if fresh is None:
             dropped.append(commodity.name)
         else:
-            rebuilt.add_commodity(fresh)
-    if not rebuilt.commodities:
+            commodities.append(fresh)
+    if not commodities:
         raise ModelError("event disconnected every commodity; nothing to run")
-    return RebuildResult(rebuilt, dropped)
-
-
-def _edge_key(ext: ExtendedNetwork, edge_index: int) -> Tuple:
-    edge = ext.edges[edge_index]
-    if edge.kind in (ExtEdgeKind.PROCESSING, ExtEdgeKind.TRANSFER):
-        return (edge.kind.value, edge.physical_link)
-    return (edge.kind.value, ext.commodities[edge.commodity].name)
+    return RebuildResult(
+        StreamNetwork(physical=physical, commodities=commodities), dropped
+    )
 
 
 def remap_routing(
@@ -185,36 +234,15 @@ def remap_routing(
 ) -> RoutingState:
     """Carry routing fractions from ``old_ext`` onto ``new_ext``.
 
-    Surviving edges keep their fractions (renormalised per node); nodes with
-    no surviving out-fraction mass fall back to the shed-everything default.
-    The result is always a valid routing decision on ``new_ext``.
+    Surviving edges keep their fractions (renormalised per node where mass
+    was lost); nodes with no surviving out-fraction mass fall back to the
+    shed-everything default.  The result is always a valid routing decision
+    on ``new_ext``.  Implemented as the array-level remap of
+    :mod:`repro.core.delta`; the old per-edge dict keys are gone.
     """
-    old_values: Dict[Tuple[str, Tuple], float] = {}
-    for view in old_ext.commodities:
-        for e in view.edge_indices:
-            old_values[(view.name, _edge_key(old_ext, e))] = float(
-                old_routing.phi[view.index, e]
-            )
-
-    routing = initial_routing(new_ext)
-    for view in new_ext.commodities:
-        j = view.index
-        for node in view.node_indices:
-            if node == view.sink:
-                continue
-            out = new_ext.commodity_out_edges[j][node]
-            if not out:
-                continue
-            carried = np.array(
-                [
-                    old_values.get((view.name, _edge_key(new_ext, e)), 0.0)
-                    for e in out
-                ]
-            )
-            total = float(carried.sum())
-            if total > 1e-12:
-                routing.phi[j, out] = carried / total
-    return routing
+    return carry_routing(
+        old_ext, old_routing, new_ext, build_index_maps(old_ext, new_ext)
+    )
 
 
 def emergency_shed(

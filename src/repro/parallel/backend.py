@@ -88,6 +88,17 @@ class ExecutionBackend:
     ) -> RoutingState:
         raise NotImplementedError
 
+    def refresh(self, applied: Any, instrumentation: Any = None) -> None:
+        """Advance the bound model one epoch without rebinding.
+
+        ``applied`` is a :class:`repro.core.delta.AppliedDelta`.  Unlike
+        :meth:`bind` with a new network -- which tears pooled resources
+        down -- a refresh republishes only what the delta dirtied, so a
+        parallel backend keeps its worker pool and its unchanged
+        shared-memory segments alive.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Release any pooled resources; safe to call repeatedly."""
 
@@ -111,6 +122,9 @@ class SerialBackend(ExecutionBackend):
     def bind(self, ext: ExtendedNetwork, config: GradientConfig) -> None:
         self._ext = ext
         self._config = config
+
+    def refresh(self, applied: Any, instrumentation: Any = None) -> None:
+        self._ext = applied.ext
 
     def build_context(
         self,
@@ -227,6 +241,9 @@ class ParallelBackend(ExecutionBackend):
         self._shm: Optional[SharedArraySet] = None
         self._shards: List[Tuple[int, int]] = []
         self._loaded_for: Optional[RoutingState] = None
+        # fixed for the pool's lifetime; later refreshes re-shard within it
+        self._pool_size: int = 0
+        self._barrier: Optional[Any] = None
 
     # -- lifecycle -----------------------------------------------------------------
     def bind(self, ext: ExtendedNetwork, config: GradientConfig) -> None:
@@ -259,18 +276,23 @@ class ParallelBackend(ExecutionBackend):
             shm.create("traffic", (ext.num_commodities, ext.num_nodes))
             shm.create("dadf", (ext.num_edges,))
             self._shards = _split_shards(ext.num_commodities, self.workers)
+            self._pool_size = len(self._shards)
             import multiprocessing
 
             ctx = (
                 multiprocessing.get_context(self._start_method)
                 if self._start_method
-                else None
+                else multiprocessing.get_context()
             )
+            # the barrier is the exactly-once delivery mechanism of
+            # refresh(): every worker blocks in its refresh task until all
+            # pool members have received theirs
+            self._barrier = ctx.Barrier(self._pool_size)
             self._pool = ProcessPoolExecutor(
-                max_workers=len(self._shards),
+                max_workers=self._pool_size,
                 initializer=init_worker,
-                initargs=(ext, shm.specs, self._inject_fault),
-                **({"mp_context": ctx} if ctx is not None else {}),
+                initargs=(ext, shm.specs, self._inject_fault, self._barrier),
+                mp_context=ctx,
             )
         except BaseException:
             shm.close()
@@ -285,6 +307,8 @@ class ParallelBackend(ExecutionBackend):
         if shm is not None:
             shm.close()
         self._loaded_for = None
+        self._barrier = None
+        self._pool_size = 0
 
     def __del__(self) -> None:  # best-effort safety net; close() is the API
         try:
@@ -293,12 +317,7 @@ class ParallelBackend(ExecutionBackend):
             pass
 
     # -- dispatch ------------------------------------------------------------------
-    def _dispatch(self, phase: str, args: Sequence[Any] = ()) -> List[Any]:
-        assert self._pool is not None
-        futures: List[Future] = [
-            self._pool.submit(run_shard, phase, lo, hi, *args)
-            for lo, hi in self._shards
-        ]
+    def _collect(self, phase: str, futures: List[Future]) -> List[Any]:
         results: List[Any] = []
         first_error: Optional[BaseException] = None
         for future in futures:
@@ -316,6 +335,68 @@ class ParallelBackend(ExecutionBackend):
                 f"{first_error!r} (the worker pool has been shut down)"
             ) from first_error
         return results
+
+    def _dispatch(self, phase: str, args: Sequence[Any] = ()) -> List[Any]:
+        assert self._pool is not None
+        futures: List[Future] = [
+            self._pool.submit(run_shard, phase, lo, hi, *args)
+            for lo, hi in self._shards
+        ]
+        return self._collect(phase, futures)
+
+    # -- epoch refresh -------------------------------------------------------------
+    def refresh(self, applied: Any, instrumentation: Any = None) -> None:
+        """Advance the pool to the delta's epoch without restarting it.
+
+        Scalar deltas ship the few-byte patch; every worker applies it to
+        its own network copy and no shared memory moves.  Structural deltas
+        ship the spliced successor network and re-publish only the
+        shared-memory segments whose shape actually changed.  Exactly-once
+        delivery is enforced by a pool-wide barrier: each worker blocks in
+        its refresh task until all ``_pool_size`` tasks have landed, so the
+        executor cannot hand two of them to one worker.
+        """
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        ext = applied.ext
+        if self._pool is None:
+            # nothing published yet: adopt the new epoch and start lazily
+            self._ext = ext
+            return
+        if applied.structural:
+            # build the lazy plans before pickling, as _ensure_started does
+            _ = ext.flow_plans, ext.gamma_plans, ext.merged_gamma_plan
+            shm = self._shm
+            shapes = {
+                "phi": (ext.num_commodities, ext.num_edges),
+                "phi_next": (ext.num_commodities, ext.num_edges),
+                "usage": (ext.num_commodities, ext.num_edges),
+                "traffic": (ext.num_commodities, ext.num_nodes),
+                "dadf": (ext.num_edges,),
+            }
+            dirty = [
+                name
+                for name, shape in shapes.items()
+                if shm.arrays[name].shape != shape
+            ]
+            for name in dirty:
+                shm.replace(name, shapes[name])
+            payload = ("ext", ext, shm.specs if dirty else None, ext.epoch)
+            self._shards = _split_shards(ext.num_commodities, self._pool_size)
+            if inst.enabled:
+                inst.count("parallel.refresh.segments_republished", len(dirty))
+        else:
+            payload = ("patch", applied.delta.scalar, None, ext.epoch)
+        with inst.phase("parallel_refresh", epoch=ext.epoch):
+            assert self._pool is not None
+            futures = [
+                self._pool.submit(run_shard, "refresh", k, k, payload)
+                for k in range(self._pool_size)
+            ]
+            results = self._collect("refresh", futures)
+        self._observe_worker_timings(inst, results)
+        self._ext = ext
+        self._loaded_for = None
+        inst.count("parallel.refresh")
 
     def _observe_worker_timings(self, inst: Any, results: List[Any]) -> None:
         if not inst.enabled:

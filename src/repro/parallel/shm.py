@@ -61,7 +61,7 @@ class SharedArraySet:
     """The master-side bundle of named shared-memory NumPy arrays."""
 
     def __init__(self) -> None:
-        self._blocks: List[shared_memory.SharedMemory] = []
+        self._blocks: Dict[str, shared_memory.SharedMemory] = {}
         self.arrays: Dict[str, np.ndarray] = {}
         self.specs: ArraySpec = {}
 
@@ -69,12 +69,33 @@ class SharedArraySet:
         """Allocate one zero-initialised shared array and return its view."""
         nbytes = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
         block = shared_memory.SharedMemory(create=True, size=nbytes)
-        self._blocks.append(block)
+        self._blocks[name] = block
         view: np.ndarray = np.ndarray(shape, dtype=dtype, buffer=block.buf)
         view.fill(0)
         self.arrays[name] = view
         self.specs[name] = (block.name, tuple(shape), str(dtype))
         return view
+
+    def replace(
+        self, name: str, shape: Tuple[int, ...], dtype: str = "float64"
+    ) -> np.ndarray:
+        """Re-publish one array under a new shape; other segments are untouched.
+
+        Unlinking a segment that workers still map is safe on POSIX: their
+        existing mappings stay valid until they close them, which they do
+        when re-attaching during a refresh.  Only segments whose shape
+        actually changed should pay this; same-shape arrays keep their block
+        (and their contents).
+        """
+        self.arrays.pop(name)  # drop the view before closing its buffer
+        block = self._blocks.pop(name)
+        self.specs.pop(name)
+        try:
+            block.close()
+            block.unlink()
+        except FileNotFoundError:
+            pass
+        return self.create(name, shape, dtype)
 
     def close(self) -> None:
         """Release the master's mappings and unlink every block."""
@@ -82,7 +103,7 @@ class SharedArraySet:
         # and SharedMemory.close() would raise BufferError underneath it
         self.arrays.clear()
         self.specs.clear()
-        for block in self._blocks:
+        for block in self._blocks.values():
             try:
                 block.close()
                 block.unlink()

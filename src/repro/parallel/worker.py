@@ -35,6 +35,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.blocking import compute_blocked_sets
+from repro.core.delta import ScalarPatch, apply_scalar_patch
 from repro.core.gradient import apply_gamma_batch
 from repro.core.marginals import edge_marginals, marginal_cost_to_destination
 from repro.core.routing import RoutingState, solve_traffic_commodity
@@ -48,6 +49,13 @@ _EXT: Optional[ExtendedNetwork] = None
 _ARRAYS: Dict[str, np.ndarray] = {}
 _BLOCKS: List[Any] = []
 _FAULT: Optional[str] = None
+_BARRIER: Optional[Any] = None
+
+# A refresh task must reach *every* worker exactly once; workers that
+# finished theirs block on the barrier until the stragglers arrive.  The
+# timeout only matters when a sibling dies mid-refresh -- it turns a
+# would-be deadlock into a BrokenBarrierError the master can report.
+_REFRESH_BARRIER_TIMEOUT = 60.0
 
 
 def _close_shared_memory() -> None:
@@ -61,16 +69,54 @@ def _close_shared_memory() -> None:
     _BLOCKS = []
 
 
-def init_worker(ext: ExtendedNetwork, specs: ArraySpec, fault: Optional[str]) -> None:
+def init_worker(
+    ext: ExtendedNetwork,
+    specs: ArraySpec,
+    fault: Optional[str],
+    barrier: Optional[Any] = None,
+) -> None:
     """Pool initializer: receive the graph once, attach the shared arrays."""
-    global _EXT, _ARRAYS, _BLOCKS, _FAULT
+    global _EXT, _ARRAYS, _BLOCKS, _FAULT, _BARRIER
     _EXT = ext
     _ARRAYS, _BLOCKS = attach_arrays(specs)
     _FAULT = fault
+    _BARRIER = barrier
     # touch the lazy per-commodity plans once so iteration-time tasks never
     # pay (or re-time) the plan construction
     _ = ext.flow_plans, ext.gamma_plans
     atexit.register(_close_shared_memory)
+
+
+def _refresh_worker(payload: Tuple[str, Any, Optional[ArraySpec], int]) -> None:
+    """Apply one epoch advance in this worker, then rendezvous.
+
+    ``payload`` is ``(kind, data, specs, epoch)``: ``kind == "patch"``
+    applies a :class:`~repro.core.delta.ScalarPatch` to the worker's own
+    network copy; ``kind == "ext"`` replaces it with the freshly pickled
+    successor (its plans already built by the master).  When ``specs`` is
+    given the shared-memory layout changed: drop every old mapping and
+    re-attach -- unchanged segments resolve to the same blocks, replaced
+    ones to their successors.  The closing barrier guarantees exactly-once
+    delivery: no worker can pick up a second refresh task while a sibling
+    still hasn't run its first.
+    """
+    global _EXT, _ARRAYS, _BLOCKS
+    assert _EXT is not None, "worker used before init_worker ran"
+    kind, data, specs, epoch = payload
+    if kind == "patch":
+        patch: ScalarPatch = data
+        apply_scalar_patch(_EXT, patch)
+    else:
+        _EXT = data
+    if _EXT.epoch != epoch:
+        raise RuntimeError(
+            f"worker epoch diverged: have {_EXT.epoch}, master at {epoch}"
+        )
+    if specs is not None:
+        _close_shared_memory()
+        _ARRAYS, _BLOCKS = attach_arrays(specs)
+    if _BARRIER is not None:
+        _BARRIER.wait(timeout=_REFRESH_BARRIER_TIMEOUT)
 
 
 def _forecast_shard(lo: int, hi: int) -> Dict[str, float]:
@@ -142,4 +188,8 @@ def run_shard(phase: str, lo: int, hi: int, *args: Any) -> Tuple[int, Dict[str, 
     if phase == "step":
         eta, use_blocking, traffic_tol = args
         return lo, _step_shard(lo, hi, eta, use_blocking, traffic_tol)
+    if phase == "refresh":
+        start = time.perf_counter()
+        _refresh_worker(args[0])
+        return lo, {"refresh": time.perf_counter() - start}
     raise ValueError(f"unknown worker phase {phase!r}")

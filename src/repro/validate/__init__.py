@@ -39,6 +39,8 @@ from repro.validate.oracle import (
     AlgorithmSpec,
     DifferentialOracle,
     OracleReport,
+    RebuildOracleReport,
+    RebuildStepReport,
     calibrated_gradient_config,
 )
 
@@ -57,5 +59,7 @@ __all__ = [
     "AlgorithmSpec",
     "DifferentialOracle",
     "OracleReport",
+    "RebuildOracleReport",
+    "RebuildStepReport",
     "calibrated_gradient_config",
 ]

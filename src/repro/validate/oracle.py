@@ -26,7 +26,7 @@ gap is the eps-barrier headroom, not solver error).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,8 @@ __all__ = [
     "calibrated_gradient_config",
     "AlgorithmSpec",
     "OracleReport",
+    "RebuildStepReport",
+    "RebuildOracleReport",
     "DifferentialOracle",
 ]
 
@@ -133,6 +135,68 @@ class OracleReport:
             "admitted_atol": _f(self.admitted_atol),
             "require_bit_identical": self.require_bit_identical,
             "validation_passed": self.validation_passed,
+        }
+
+
+@dataclass
+class RebuildStepReport:
+    """One event's worth of incremental-vs-from-scratch comparison."""
+
+    event: str
+    epoch: int
+    structural: bool
+    dropped_commodities: Tuple[str, ...]
+    model_diffs: List[str]  # bit-level diffs incl. every vectorization plan
+    routing_identical: bool
+    routing_valid: bool
+
+    @property
+    def passed(self) -> bool:
+        return not self.model_diffs and self.routing_identical and self.routing_valid
+
+
+@dataclass
+class RebuildOracleReport:
+    """Replay verdict of a whole event sequence (``compare_rebuild``)."""
+
+    steps: List[RebuildStepReport] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(step.passed for step in self.steps)
+
+    def summary(self) -> str:
+        verdict = "AGREE" if self.passed else "DISAGREE"
+        lines = [
+            f"Rebuild oracle {verdict}: {len(self.steps)} event(s) replayed"
+        ]
+        for step in self.steps:
+            status = "ok" if step.passed else "FAIL"
+            lines.append(
+                f"  epoch {step.epoch} [{step.event}] {status}"
+                + (f" -- {'; '.join(step.model_diffs)}" if step.model_diffs else "")
+                + ("" if step.routing_identical else " -- routing differs")
+                + ("" if step.routing_valid else " -- routing invalid")
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.rebuild_oracle/1",
+            "passed": self.passed,
+            "steps": [
+                {
+                    "event": s.event,
+                    "epoch": s.epoch,
+                    "structural": s.structural,
+                    "dropped_commodities": list(s.dropped_commodities),
+                    "model_diffs": list(s.model_diffs),
+                    "routing_identical": s.routing_identical,
+                    "routing_valid": s.routing_valid,
+                    "passed": s.passed,
+                }
+                for s in self.steps
+            ],
         }
 
 
@@ -269,3 +333,128 @@ class DifferentialOracle:
             validate=validate,
             require_bit_identical=True,
         )
+
+    def compare_rebuild(
+        self,
+        stream_network,
+        events: Sequence[Any],
+        gradient_steps: int = 0,
+        config: Any = None,
+        shed_on_event: bool = True,
+    ) -> RebuildOracleReport:
+        """Replay ``events`` through the delta path and from-scratch rebuilds.
+
+        Two timelines advance in lockstep from the same initial instance:
+        one through :func:`repro.core.delta.compile_event` /
+        ``apply_delta`` (epoch-versioned, incremental), one through
+        :func:`repro.online.rebuild.apply_event` + a full
+        :func:`build_extended_network`.  After every event the two models
+        must be **bit-identical** down to each vectorization plan
+        (:func:`repro.core.delta.diff_extended_networks` with
+        ``compare_plans=True``), the carried routing states must match
+        exactly, and the routing must validate.  ``gradient_steps``
+        iterations run after each event on both timelines, so any latent
+        divergence in the spliced plans would surface as differing
+        iterates.
+
+        This is the extension-point contract promised in docs/validation.md
+        for the online layer: the incremental path may be arbitrarily
+        clever, but it must be indistinguishable from recompiling the
+        world.
+        """
+        from repro.core.delta import (
+            apply_delta,
+            build_index_maps,
+            carry_routing,
+            compile_event,
+            diff_extended_networks,
+        )
+        from repro.core.gradient import GradientAlgorithm
+        from repro.core.routing import initial_routing, validate_routing
+        from repro.core.transform import build_extended_network
+        from repro.exceptions import RoutingError
+        from repro.online.rebuild import apply_event, emergency_shed
+
+        cfg = config or calibrated_gradient_config()
+
+        ext_inc = build_extended_network(stream_network)
+        # force every lazy plan so the splice path has something to carry
+        _ = ext_inc.flow_plans, ext_inc.gamma_plans, ext_inc.merged_edge_list
+        _ = ext_inc.merged_forward_plan, ext_inc.merged_reverse_plan
+        _ = ext_inc.merged_gamma_plan
+        net_ref = stream_network
+        ext_ref = build_extended_network(stream_network)
+        routing_inc = initial_routing(ext_inc)
+        routing_ref = initial_routing(ext_ref)
+
+        def run_steps(ext, routing):
+            if gradient_steps <= 0:
+                return routing
+            algo = GradientAlgorithm(ext, cfg)
+            for _ in range(gradient_steps):
+                routing = algo.step(routing)
+            return routing
+
+        report = RebuildOracleReport()
+        for event in events:
+            diffs: List[str] = []
+
+            # incremental timeline
+            old_inc = ext_inc
+            old_epoch = old_inc.epoch
+            delta = compile_event(ext_inc, event)
+            applied = apply_delta(ext_inc, delta)
+            ext_inc = applied.ext
+            if ext_inc.epoch != old_epoch + 1:
+                diffs.append(
+                    f"epoch did not advance by one: {old_epoch} -> {ext_inc.epoch}"
+                )
+            routing_inc = carry_routing(old_inc, routing_inc, ext_inc, applied.maps)
+
+            # from-scratch timeline
+            rebuilt = apply_event(net_ref, event)
+            net_ref = rebuilt.network
+            old_ref = ext_ref
+            ext_ref = build_extended_network(net_ref, require_connected=False)
+            routing_ref = carry_routing(
+                old_ref, routing_ref, ext_ref, build_index_maps(old_ref, ext_ref)
+            )
+
+            if tuple(delta.dropped_commodities) != tuple(
+                rebuilt.dropped_commodities
+            ):
+                diffs.append(
+                    f"dropped commodities disagree: {delta.dropped_commodities} "
+                    f"vs {tuple(rebuilt.dropped_commodities)}"
+                )
+            diffs.extend(
+                diff_extended_networks(ext_inc, ext_ref, compare_plans=True)
+            )
+
+            if shed_on_event:
+                routing_inc = emergency_shed(ext_inc, routing_inc)
+                routing_ref = emergency_shed(ext_ref, routing_ref)
+            routing_inc = run_steps(ext_inc, routing_inc)
+            routing_ref = run_steps(ext_ref, routing_ref)
+
+            routing_identical = bool(
+                np.array_equal(routing_inc.phi, routing_ref.phi)
+            )
+            try:
+                validate_routing(ext_inc, routing_inc)
+                routing_valid = True
+            except RoutingError:
+                routing_valid = False
+
+            report.steps.append(
+                RebuildStepReport(
+                    event=type(event).__name__,
+                    epoch=ext_inc.epoch,
+                    structural=applied.structural,
+                    dropped_commodities=tuple(delta.dropped_commodities),
+                    model_diffs=diffs,
+                    routing_identical=routing_identical,
+                    routing_valid=routing_valid,
+                )
+            )
+        return report

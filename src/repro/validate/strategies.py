@@ -33,6 +33,7 @@ __all__ = [
     "oracle_seed_matrix",
     "seeds",
     "network_names",
+    "event_sequences",
 ]
 
 # the named paper instances randomized tests draw from
@@ -136,3 +137,32 @@ def network_names():
     from hypothesis import strategies as st
 
     return st.sampled_from(sorted(NETWORK_FACTORIES))
+
+
+def event_sequences(min_events: int = 1, max_events: int = 8):
+    """Strategy over ``(stream_network, events)`` pairs for churn testing.
+
+    Draws a random instance plus a replayable mixed event timeline from
+    :func:`repro.workloads.churn.churn_trace`.  Because the churn generator
+    shadow-validates every event, any drawn sequence can be applied --
+    incrementally or from scratch -- without raising, so property tests can
+    focus on the interesting assertion (bit-identity, epoch monotonicity,
+    routing feasibility) instead of feasibility bookkeeping.  Shrinking
+    reduces the event count and the seeds.
+    """
+    from hypothesis import strategies as st
+
+    from repro.workloads.churn import ChurnSpec, churn_network, churn_trace
+
+    @st.composite
+    def _draw(draw):
+        network_seed = draw(st.integers(0, 200))
+        trace_seed = draw(st.integers(0, 10**6))
+        num_events = draw(st.integers(min_events, max_events))
+        network = churn_network(num_nodes=18, num_commodities=3, seed=network_seed)
+        events = churn_trace(
+            network, ChurnSpec(num_events=num_events), seed=trace_seed
+        )
+        return network, events
+
+    return _draw()

@@ -1,5 +1,6 @@
 """Workload generators: random networks, controlled topologies, arrival traces."""
 
+from repro.workloads.churn import ChurnSpec, churn_network, churn_trace
 from repro.workloads.layered import diamond_network, layered_network, tandem_network
 from repro.workloads.random_network import (
     RandomNetworkSpec,
@@ -21,6 +22,9 @@ from repro.workloads.traces import (
 )
 
 __all__ = [
+    "ChurnSpec",
+    "churn_network",
+    "churn_trace",
     "diamond_network",
     "layered_network",
     "tandem_network",

@@ -15,6 +15,8 @@ from repro.core.routing import (
 from repro.exceptions import ModelError
 from repro.online import (
     CapacityChange,
+    CommodityArrival,
+    CommodityDeparture,
     DemandChange,
     LinkFailure,
     NodeFailure,
@@ -114,6 +116,55 @@ class TestApplyEvent:
         net = diamond_network()
         with pytest.raises(ModelError):
             apply_event(net, NodeFailure(at_iteration=1, node="src"))
+
+    def test_departure_removes_commodity(self):
+        net = figure1_network()
+        result = apply_event(
+            net, CommodityDeparture(at_iteration=1, commodity="S2")
+        )
+        assert [c.name for c in result.network.commodities] == ["S1"]
+        # an intentional departure is not a loss; dropped stays empty
+        assert result.dropped_commodities == []
+        assert net.num_commodities == 2  # input untouched
+
+    def test_departure_unknown_commodity(self):
+        with pytest.raises(ModelError):
+            apply_event(
+                figure1_network(),
+                CommodityDeparture(at_iteration=1, commodity="nope"),
+            )
+
+    def test_last_departure_rejected(self):
+        net = diamond_network()
+        (only,) = [c.name for c in net.commodities]
+        with pytest.raises(ModelError):
+            apply_event(net, CommodityDeparture(at_iteration=1, commodity=only))
+
+    def test_arrival_round_trip(self):
+        net = figure1_network()
+        s2 = net.commodity("S2")
+        smaller = apply_event(
+            net, CommodityDeparture(at_iteration=1, commodity="S2")
+        ).network
+        back = apply_event(
+            smaller, CommodityArrival(at_iteration=2, commodity=s2)
+        ).network
+        assert sorted(c.name for c in back.commodities) == ["S1", "S2"]
+        assert back.commodity("S2") is s2  # shared, not copied
+
+    def test_arrival_duplicate_name_rejected(self):
+        net = figure1_network()
+        with pytest.raises(ModelError):
+            apply_event(
+                net,
+                CommodityArrival(at_iteration=1, commodity=net.commodity("S1")),
+            )
+
+    def test_event_constructor_validation(self):
+        with pytest.raises(ModelError):
+            CommodityArrival(at_iteration=1, commodity=None)
+        with pytest.raises(ModelError):
+            CommodityDeparture(at_iteration=1, commodity="")
 
 
 class TestRemapRouting:
@@ -270,3 +321,52 @@ class TestOrchestrator:
         result = OnlineOrchestrator(net, events, GradientConfig(eta=0.05)).run(300)
         labels = [r.event for r in result.records if r.event]
         assert labels == ["CapacityChange"]
+
+    def test_incremental_matches_legacy_bitwise(self):
+        """The delta path is an optimisation, not a different algorithm:
+        the whole timeline must land on the exact same utility."""
+        net = figure1_network()
+        events = [
+            DemandChange(at_iteration=150, commodity="S1", new_rate=25.0),
+            CapacityChange(at_iteration=300, node="server3", new_capacity=9.0),
+            LinkFailure(at_iteration=450, link=("server2", "server4")),
+        ]
+        fast = OnlineOrchestrator(
+            net, events, GradientConfig(eta=0.05), incremental=True
+        ).run(600)
+        slow = OnlineOrchestrator(
+            net, events, GradientConfig(eta=0.05), incremental=False
+        ).run(600)
+        assert fast.final_utility == slow.final_utility  # bit-identical
+        for a, b in zip(fast.records, slow.records):
+            assert a.utility == b.utility
+
+    def test_incremental_reports_epochs(self):
+        net = figure1_network()
+        events = [
+            DemandChange(at_iteration=50, commodity="S1", new_rate=25.0),
+            LinkFailure(at_iteration=100, link=("server2", "server4")),
+        ]
+        result = OnlineOrchestrator(
+            net, events, GradientConfig(eta=0.05), incremental=True
+        ).run(200)
+        assert [r.epoch for r in result.recoveries] == [1, 2]
+
+    def test_rejects_backend_and_workers_together(self):
+        from repro.parallel.backend import SerialBackend
+
+        with pytest.raises(ModelError):
+            OnlineOrchestrator(
+                figure1_network(), [], backend=SerialBackend(), workers=2
+            )
+
+    def test_orchestrator_with_parallel_workers_matches_serial(self):
+        net = figure1_network()
+        events = [DemandChange(at_iteration=60, commodity="S1", new_rate=25.0)]
+        serial = OnlineOrchestrator(
+            net, events, GradientConfig(eta=0.05), incremental=True
+        ).run(120)
+        parallel = OnlineOrchestrator(
+            net, events, GradientConfig(eta=0.05), incremental=True, workers=2
+        ).run(120)
+        assert parallel.final_utility == serial.final_utility
