@@ -199,7 +199,9 @@ def solve(
     config: Optional[Union[GradientConfig, BackpressureConfig]] = None,
     instrumentation: Optional[Instrumentation] = None,
     full_result: bool = False,
-    workers: Optional[int] = None,
+    workers: Optional[Union[int, str]] = None,
+    backend=None,
+    staleness: Optional[int] = None,
     validate: Union[bool, str] = False,
     **legacy,
 ):
@@ -234,11 +236,34 @@ def solve(
         :class:`~repro.core.solution.Solution`.  Uniform across methods:
         ``"optimal"`` returns an :class:`OptimalResult` wrapper.
     workers:
-        Process-parallel execution (``"gradient"``/``"distributed"`` only):
-        shard the per-commodity iteration work across this many worker
-        processes via :class:`repro.parallel.ParallelBackend`.  Iterates are
-        bit-identical to the serial default (``None``); see
-        ``docs/parallelism.md`` for when this pays off.
+        Parallel execution (``"gradient"``/``"distributed"`` only): shard
+        the per-commodity iteration work across this many workers.  An
+        integer >= 2 keeps its historical meaning (the process backend,
+        :class:`repro.parallel.ParallelBackend`); ``workers=1`` resolves to
+        the serial engine (a pool of one is pure overhead); the string
+        ``"auto"`` lets :func:`repro.parallel.auto_backend` pick
+        serial/thread/process from CPUs and problem size so small
+        instances never pay pool overhead.  Synchronous parallel iterates
+        are bit-identical to the serial default (``None``); see
+        ``docs/parallelism.md``.
+    backend:
+        Explicit backend selection: an
+        :class:`~repro.parallel.ExecutionBackend` instance (borrowed -- the
+        caller closes it) or one of ``"serial"``/``"thread"``/
+        ``"process"``/``"auto"``, combinable with ``workers=<count>``.
+        When neither ``backend`` nor ``workers`` is given, the
+        ``REPRO_BACKEND`` environment variable supplies a default name.
+        Backends built here are context-managed: pools and shared-memory
+        segments are released even when the run raises mid-iteration.
+    staleness:
+        Bounded-staleness batched dispatch for the process backend
+        (``method="gradient"`` only): run up to ``staleness + 1``
+        iterations per worker round-trip with the global link-cost
+        derivative frozen inside a batch.  ``staleness=0`` (and the
+        default ``None``) keeps the synchronous bit-identical schedule;
+        ``staleness=K`` is a documented relaxed mode (drift bound in
+        docs/parallelism.md).  Batching engages between trajectory
+        records, so it needs ``config.record_every > 1`` to take effect.
     validate:
         Audit the result against the paper's invariant catalog
         (:mod:`repro.validate`).  ``True`` attaches a
@@ -255,13 +280,14 @@ def solve(
     """
     return _solve_impl(
         stream_network, method, config, instrumentation, full_result, legacy,
-        workers=workers, validate=validate,
+        workers=workers, backend=backend, staleness=staleness,
+        validate=validate,
     )
 
 
 def _solve_impl(
     stream_network, method, config, instrumentation, full_result, legacy,
-    workers=None, validate=False,
+    workers=None, backend=None, staleness=None, validate=False,
 ):
     if method not in SOLVE_METHODS:
         raise ValueError(
@@ -270,10 +296,17 @@ def _solve_impl(
     inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
     ext = build_extended_network(stream_network)
 
-    if workers is not None and method not in ("gradient", "distributed"):
+    if method not in ("gradient", "distributed") and (
+        workers is not None or backend is not None or staleness is not None
+    ):
         raise TypeError(
-            f"workers= applies only to the gradient/distributed methods, "
-            f"not {method!r}"
+            f"workers=/backend=/staleness= apply only to the "
+            f"gradient/distributed methods, not {method!r}"
+        )
+    if staleness and method != "gradient":
+        raise TypeError(
+            "staleness= (batched dispatch) applies only to method='gradient'; "
+            "the distributed runner is synchronous round by round"
         )
 
     if method == "optimal":
@@ -284,31 +317,36 @@ def _solve_impl(
         if inst.enabled:
             inst.gauge("final_utility", solution.utility)
         result = OptimalResult(solution=solution)
+    elif method == "backpressure":
+        cfg = _coerce_config(method, config, legacy)
+        result = BackpressureAlgorithm(ext, cfg).run(
+            instrumentation=instrumentation
+        )
     else:
         cfg = _coerce_config(method, config, legacy)
-        backend = None
-        if workers is not None:
-            from repro.parallel import ParallelBackend
+        from contextlib import nullcontext
 
-            backend = ParallelBackend(workers=workers)
-        try:
+        from repro.parallel import resolve_backend
+
+        resolved = resolve_backend(
+            backend, workers, ext=ext, staleness=staleness, instrumentation=inst
+        )
+        # a caller-supplied backend instance is borrowed (the caller closes
+        # it); anything resolve_backend built here is owned, and the with
+        # block releases its pool and shared-memory segments even when the
+        # run raises mid-iteration
+        scope = resolved if resolved is not backend else nullcontext(resolved)
+        with scope:
             if method == "gradient":
-                result = GradientAlgorithm(ext, cfg, backend=backend).run(
+                result = GradientAlgorithm(ext, cfg, backend=resolved).run(
                     instrumentation=instrumentation
                 )
-            elif method == "distributed":
+            else:  # distributed
                 from repro.simulation.runner import DistributedGradientRun
 
                 result = DistributedGradientRun(
-                    ext, cfg, instrumentation=instrumentation, backend=backend
+                    ext, cfg, instrumentation=instrumentation, backend=resolved
                 ).run(cfg.max_iterations, record_every=cfg.record_every)
-            else:  # backpressure
-                result = BackpressureAlgorithm(ext, cfg).run(
-                    instrumentation=instrumentation
-                )
-        finally:
-            if backend is not None:
-                backend.close()
     if validate:
         from repro.validate import attach_validation
 

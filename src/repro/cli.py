@@ -18,6 +18,8 @@ Examples
     python -m repro solve model.json --method gradient --step-size 0.04 -o sol.json
     python -m repro solve model.json --metrics-out m.json --trace-out t.json
     python -m repro solve model.json --workers 4          # process-parallel
+    python -m repro solve model.json --workers auto       # size-aware backend
+    python -m repro solve model.json --backend thread --workers 2
     python -m repro solve model.json --validate           # attach the audit
     python -m repro profile model.json --max-iterations 2000 --workers 2
     python -m repro validate model.json --method optimal --strict
@@ -123,6 +125,18 @@ def _make_config(args: argparse.Namespace):
     return GradientConfig(**kwargs)
 
 
+def _workers_arg(value: str):
+    """``--workers`` accepts an integer count or the string ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers takes an integer or 'auto', got {value!r}"
+        )
+
+
 def _instrumented_solve(args: argparse.Namespace, instrumentation, validate=False):
     network = load_network(args.model)
     return solve(
@@ -132,6 +146,8 @@ def _instrumented_solve(args: argparse.Namespace, instrumentation, validate=Fals
         instrumentation=instrumentation,
         full_result=True,
         workers=args.workers,
+        backend=args.backend,
+        staleness=args.staleness,
         validate=validate,
     )
 
@@ -303,10 +319,28 @@ def _add_solver_options(
     parser.add_argument("--max-iterations", type=int, default=20000)
     parser.add_argument(
         "--workers",
+        type=_workers_arg,
+        default=None,
+        metavar="N|auto",
+        help="shard per-commodity work across N workers, or 'auto' to pick "
+        "a backend from CPUs and problem size (gradient/distributed; "
+        "synchronous iterates stay bit-identical to serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process", "auto"],
+        default=None,
+        help="execution backend (default: serial, or $REPRO_BACKEND); "
+        "combinable with --workers",
+    )
+    parser.add_argument(
+        "--staleness",
         type=int,
         default=None,
-        help="shard per-commodity work across N worker processes "
-        "(gradient/distributed; iterates stay bit-identical to serial)",
+        metavar="K",
+        help="process-backend batched dispatch: up to K+1 iterations per "
+        "worker round-trip with the global derivative held stale "
+        "(0 = synchronous bit-identical mode; needs --record-every > 1)",
     )
     parser.add_argument(
         "--record-every",

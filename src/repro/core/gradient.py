@@ -508,15 +508,35 @@ class GradientAlgorithm:
         eta_floor = cfg.eta * cfg.eta_min_factor
         eta_ceiling = cfg.eta * cfg.eta_max_factor
 
-        for iteration in range(1, cfg.max_iterations + 1):
-            with inst.phase("iteration", iteration=iteration):
-                routing = self.step(
-                    routing, eta=eta, context=context, instrumentation=instrumentation
-                )
+        # A backend with staleness=K may run up to K+1 iterations per
+        # dispatch.  The span never crosses a record_every boundary, so the
+        # recorded trajectory keeps its exact serial cadence; divergence,
+        # adaptive-eta, and convergence checks then run once per dispatch
+        # (per iteration in the default synchronous case, where span == 1
+        # and this loop performs the identical calls in the identical
+        # order as the historical per-iteration loop).
+        batch = 1 + max(0, int(getattr(self.backend, "staleness", 0)))
+        iteration = 0
+        while iteration < cfg.max_iterations:
+            span = min(batch, cfg.max_iterations - iteration)
+            if span > 1:
+                span = min(span, cfg.record_every - iteration % cfg.record_every)
+            iteration += span
+            with inst.phase("iteration", iteration=iteration, span=span):
+                if span == 1:
+                    routing = self.step(
+                        routing, eta=eta, context=context,
+                        instrumentation=instrumentation,
+                    )
+                    context = self.compute_context(
+                        routing, instrumentation=instrumentation
+                    )
+                else:
+                    routing, context = self.backend.advance(
+                        routing, context, span, eta=eta,
+                        instrumentation=instrumentation,
+                    )
                 iterations_done = iteration
-                context = self.compute_context(
-                    routing, instrumentation=instrumentation
-                )
 
             cost = context.cost
             if not np.isfinite(cost):

@@ -160,10 +160,13 @@ class OnlineOrchestrator:
         self.shed_on_event = shed_on_event
         self.record_every = record_every
         self.incremental = incremental
-        if backend is not None and workers is not None:
+        from repro.parallel.backend import ExecutionBackend
+
+        if isinstance(backend, ExecutionBackend) and workers is not None:
             raise ModelError("pass either backend= or workers=, not both")
-        # a caller-supplied backend is borrowed (the caller closes it); one
-        # we build from workers= is owned and closed at the end of run()
+        # a caller-supplied backend instance is borrowed (the caller closes
+        # it); one we resolve from workers= / a backend name is owned and
+        # closed at the end of run()
         self._backend = backend
         self._workers = workers
 
@@ -175,19 +178,21 @@ class OnlineOrchestrator:
         inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
         from repro.parallel.backend import resolve_backend
 
-        backend = resolve_backend(self._backend, self._workers)
-        owns_backend = self._backend is None
+        ext = build_extended_network(self.initial_network)
+        backend = resolve_backend(
+            self._backend, self._workers, ext=ext, instrumentation=inst
+        )
+        owns_backend = backend is not self._backend
         try:
-            return self._run(total_iterations, inst, instrumentation, backend)
+            return self._run(total_iterations, inst, instrumentation, backend, ext)
         finally:
             if owns_backend:
                 backend.close()
 
     def _run(
-        self, total_iterations: int, inst, instrumentation, backend
+        self, total_iterations: int, inst, instrumentation, backend, ext
     ) -> OnlineResult:
         network = self.initial_network
-        ext = build_extended_network(network)
         algo = GradientAlgorithm(ext, self.config, backend=backend)
         routing = initial_routing(ext)
 

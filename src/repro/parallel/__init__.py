@@ -1,21 +1,34 @@
-"""Process-parallel execution backend for the gradient engine.
+"""Parallel execution backends for the gradient engine.
 
 See :mod:`repro.parallel.backend` for the backend classes and
 ``docs/parallelism.md`` for the design: per-commodity sharding over a
-process pool, shared-memory array exchange, and the determinism contract
-that keeps parallel iterates bit-identical to serial ones.
+thread pool (:class:`ThreadBackend`, zero-copy) or a process pool
+(:class:`ParallelBackend`, shared-memory array exchange, optional
+bounded-staleness batched dispatch), the determinism contract that keeps
+synchronous parallel iterates bit-identical to serial ones, and the
+size-aware auto-selection behind ``workers="auto"``.
 """
 
 from repro.parallel.backend import (
+    BACKEND_NAMES,
+    REPRO_BACKEND_ENV,
     ExecutionBackend,
     ParallelBackend,
     SerialBackend,
+    auto_backend,
+    available_cpus,
     resolve_backend,
 )
+from repro.parallel.threads import ThreadBackend
 
 __all__ = [
     "ExecutionBackend",
     "SerialBackend",
+    "ThreadBackend",
     "ParallelBackend",
     "resolve_backend",
+    "auto_backend",
+    "available_cpus",
+    "BACKEND_NAMES",
+    "REPRO_BACKEND_ENV",
 ]

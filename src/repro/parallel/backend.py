@@ -52,7 +52,18 @@ __all__ = [
     "SerialBackend",
     "ParallelBackend",
     "resolve_backend",
+    "auto_backend",
+    "available_cpus",
+    "BACKEND_NAMES",
+    "REPRO_BACKEND_ENV",
 ]
+
+
+# eta halvings the batched dispatch may spend rescuing one rejected-batch
+# redo step before settling for the least-bad trial (see
+# ParallelBackend.advance): 4 halvings reach eta/16, far below the scale at
+# which the blocked-set discontinuities that cause rejections operate
+_REDO_MAX_BACKOFFS = 4
 
 
 class ExecutionBackend:
@@ -67,6 +78,10 @@ class ExecutionBackend:
 
     name = "abstract"
     workers = 1
+    # how many iterations the backend may run between global ``dadf``
+    # refreshes: 0 means fully synchronous (bit-identical to serial); K > 0
+    # is the bounded-staleness relaxed mode of the process backend
+    staleness = 0
 
     def bind(self, ext: ExtendedNetwork, config: GradientConfig) -> None:
         raise NotImplementedError
@@ -98,6 +113,33 @@ class ExecutionBackend:
         shared-memory segments alive.
         """
         raise NotImplementedError
+
+    def advance(
+        self,
+        routing: RoutingState,
+        context: Optional[IterationContext],
+        iterations: int,
+        eta: Optional[float] = None,
+        instrumentation: Any = None,
+    ) -> Tuple[RoutingState, IterationContext]:
+        """Run ``iterations`` gradient iterations, returning the final pair.
+
+        The default is the synchronous loop -- one :meth:`step` plus one
+        :meth:`build_context` per iteration, the exact calls the run loop
+        would make itself, so overriding backends relax *only* what their
+        documented contract allows.  :class:`ParallelBackend` with
+        ``staleness=K`` overrides this to execute up to ``K + 1``
+        iterations per worker round-trip with a frozen global ``dadf``
+        (see docs/parallelism.md for the bounded-staleness contract).
+        """
+        if context is None:
+            context = self.build_context(routing, instrumentation=instrumentation)
+        for _ in range(iterations):
+            routing = self.step(
+                routing, eta=eta, context=context, instrumentation=instrumentation
+            )
+            context = self.build_context(routing, instrumentation=instrumentation)
+        return routing, context
 
     def close(self) -> None:
         """Release any pooled resources; safe to call repeatedly."""
@@ -214,9 +256,19 @@ class ParallelBackend(ExecutionBackend):
         Optional :mod:`multiprocessing` start method (``"fork"``,
         ``"spawn"``, ...); default: the platform default.
     inject_fault:
-        Test hook: the name of a worker phase (``"forecast"`` / ``"step"``)
-        in which every worker raises, to exercise crash cleanup.  Never set
-        this outside tests.
+        Test hook: the name of a worker phase (``"forecast"`` / ``"step"`` /
+        ``"batch"``) in which every worker raises, to exercise crash
+        cleanup.  Never set this outside tests.
+    staleness:
+        Batched-dispatch relaxation (default 0).  With ``staleness=K`` the
+        run loop may execute up to ``K + 1`` iterations per worker
+        round-trip: workers iterate privately on their own commodity rows
+        with the global link-cost derivative ``dadf`` frozen at the batch
+        start (at most ``K`` iterations stale), which is exactly the
+        tolerance the paper's Section-5 asynchronous protocol grants and
+        ``benchmarks/bench_stale_marginals.py`` quantifies.  ``staleness=0``
+        keeps today's two-dispatches-per-iteration schedule and the
+        bit-identity guarantee.
 
     Use as a context manager (or call :meth:`close`) to release the worker
     pool and the shared-memory blocks deterministically.
@@ -229,10 +281,14 @@ class ParallelBackend(ExecutionBackend):
         workers: Optional[int] = None,
         start_method: Optional[str] = None,
         inject_fault: Optional[str] = None,
+        staleness: int = 0,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if not isinstance(staleness, int) or isinstance(staleness, bool) or staleness < 0:
+            raise ValueError(f"staleness must be a non-negative int, got {staleness!r}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.staleness = staleness
         self._start_method = start_method
         self._inject_fault = inject_fault
         self._ext: Optional[ExtendedNetwork] = None
@@ -484,23 +540,364 @@ class ParallelBackend(ExecutionBackend):
         self._observe_worker_timings(inst, results)
         return RoutingState(new_phi)
 
+    def advance(
+        self,
+        routing: RoutingState,
+        context: Optional[IterationContext],
+        iterations: int,
+        eta: Optional[float] = None,
+        instrumentation: Any = None,
+    ) -> Tuple[RoutingState, IterationContext]:
+        """Batched dispatch: up to ``staleness + 1`` iterations per round-trip.
+
+        Within one batch every worker iterates privately on its own
+        commodity rows -- re-solving its local flow balance and re-applying
+        ``Gamma`` each inner iteration -- while the global ``dadf`` stays
+        frozen at its batch-start value (at most ``staleness`` iterations
+        old).  After the batch the master performs the usual fixed-order
+        usage reduce and recomputes a *fresh* ``dadf``, so staleness never
+        accumulates across batches.  With ``staleness=0`` this is exactly
+        the synchronous per-iteration schedule (bit-identical to serial).
+
+        Every batch is guarded by a monotonicity check: if the batch-final
+        penalised cost exceeds the batch-start cost, the frozen derivative
+        overshot (this happens near the capacity barrier, where ``dadf``
+        steepens faster than any bounded-staleness estimate can track) and
+        the whole batch is discarded and the span re-run on the synchronous
+        per-iteration schedule.  Accepting such a batch is how a "2% drift"
+        mode turns into a 40% utility regression; rejecting it costs one
+        wasted round-trip and keeps the drift bound honest
+        (``parallel.batch_rejected`` counts the rollbacks).
+        """
+        if self.staleness <= 0 or iterations <= 1:
+            return super().advance(
+                routing, context, iterations, eta=eta,
+                instrumentation=instrumentation,
+            )
+        inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        self._ensure_started()
+        ext = self._ext
+        cfg = self._config
+        if eta is None:
+            eta = cfg.eta
+        done = 0
+        while done < iterations:
+            span = min(self.staleness + 1, iterations - done)
+            if context is None or self._loaded_for is not routing:
+                # the shared traffic/dadf buffers describe some other
+                # routing state; refresh them for this one
+                context = self.build_context(routing, instrumentation=instrumentation)
+            if span == 1:
+                routing = self.step(
+                    routing, eta=eta, context=context, instrumentation=instrumentation
+                )
+                context = self.build_context(routing, instrumentation=instrumentation)
+                done += 1
+                continue
+            previous, previous_context = routing, context
+            arrays = self._shm.arrays
+            with inst.phase("parallel_batch", iterations=span):
+                np.copyto(arrays["phi"], routing.phi)
+                results = self._dispatch(
+                    "batch", (span, eta, cfg.use_blocking, cfg.traffic_tol)
+                )
+                new_phi = arrays["phi_next"].copy()
+                # same fixed-order reduce and master-side derivative as the
+                # synchronous build_context, over the batch-final rows
+                edge_usage = np.add.reduce(arrays["usage"], axis=0)
+                node_usage = np.zeros(ext.num_nodes, dtype=float)
+                np.add.at(node_usage, ext.edge_tail, edge_usage)
+                traffic = arrays["traffic"].copy()
+                routing = RoutingState(new_phi)
+                breakdown = evaluate_cost(
+                    ext, routing, cfg.cost_model, traffic,
+                    usage=(edge_usage, node_usage),
+                )
+                dadf = link_cost_derivative(
+                    ext, cfg.cost_model, edge_usage, node_usage
+                )
+                np.copyto(arrays["dadf"], dadf)
+            self._observe_worker_timings(inst, results)
+            if breakdown.total > previous_context.breakdown.total * (1 + 1e-9):
+                # the frozen dadf overshot: discard the batch and redo the
+                # span synchronously from the batch-start iterate.  The
+                # batch clobbered the shared traffic/dadf buffers, so
+                # restore them to match previous_context before stepping
+                # (_loaded_for still points at `previous`).
+                inst.count("parallel.batch_rejected")
+                np.copyto(arrays["traffic"], previous_context.traffic)
+                np.copyto(arrays["dadf"], previous_context.dadf)
+                routing, context = previous, previous_context
+                for _ in range(span):
+                    # Safeguarded synchronous step.  The knife-edge states
+                    # that trigger batch rejection sit on a blocked-set
+                    # boundary where even the *exact* full-eta step can
+                    # ascend (the accumulated drift flips a discrete
+                    # blocking decision and Gamma reroutes a large flow
+                    # share at once), so backtrack eta until the penalised
+                    # cost stops increasing.  Trial evaluations run
+                    # master-side and never touch the shared buffers, so
+                    # each retry redispatches the same restored state.
+                    best_routing, best_cost = None, np.inf
+                    step_eta = eta
+                    for _attempt in range(_REDO_MAX_BACKOFFS + 1):
+                        candidate = self.step(
+                            routing, eta=step_eta, context=context,
+                            instrumentation=instrumentation,
+                        )
+                        cand_cost = evaluate_cost(
+                            ext, candidate, cfg.cost_model
+                        ).total
+                        if cand_cost < best_cost:
+                            best_routing, best_cost = candidate, cand_cost
+                        if cand_cost <= context.breakdown.total * (1 + 1e-9):
+                            break
+                        inst.count("parallel.batch_backoffs")
+                        step_eta *= 0.5
+                    routing = best_routing
+                    context = self.build_context(
+                        routing, instrumentation=instrumentation
+                    )
+                done += span
+                continue
+            # each inner iteration re-solved every commodity's flow balance
+            inst.count("flow_solves", span)
+            inst.count("parallel.batches")
+            self._loaded_for = routing
+            context = IterationContext(
+                routing=routing,
+                traffic=traffic,
+                edge_usage=edge_usage,
+                node_usage=node_usage,
+                breakdown=breakdown,
+                dadf=dadf,
+                dadr=None,
+                delta=None,
+            )
+            done += span
+        return routing, context
+
+
+# -- backend selection ---------------------------------------------------------------
+
+BACKEND_NAMES = ("serial", "thread", "process", "auto")
+
+# environment default for resolve_backend() when neither backend= nor
+# workers= is passed -- how the CI tier-1 matrix runs the whole suite on the
+# threaded backend without touching call sites
+REPRO_BACKEND_ENV = "REPRO_BACKEND"
+
+# auto-selection thresholds, calibrated on the TAB-PARALLEL instances (see
+# docs/parallelism.md for the measurements).  ``work cells`` is the size
+# proxy J * (E + V): the per-commodity kernel work of one iteration touches
+# each commodity's edge and node rows about once.  The serial engine's
+# merged kernels amortise Python/NumPy dispatch across commodities, so a
+# sharded backend starts ~3x behind on small instances and only wins once
+# per-shard array work dominates -- hence thresholds well above the sizes
+# where serial finishes an iteration in a few hundred microseconds.
+AUTO_THREAD_MIN_CELLS = 20_000
+AUTO_PROCESS_MIN_CELLS = 200_000
+# measured-timing overrides (preferred when an instrumented run has already
+# recorded per-iteration wall-clock): a thread round-trip costs ~0.2 ms, a
+# process round-trip ~2 ms, so parallelism needs iterations at least an
+# order of magnitude above that to pay
+AUTO_THREAD_MIN_SECONDS = 4e-3
+AUTO_PROCESS_MIN_SECONDS = 4e-2
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _work_cells(ext: ExtendedNetwork) -> int:
+    return ext.num_commodities * (ext.num_edges + ext.num_nodes)
+
+
+def _measured_iteration_seconds(instrumentation: Any) -> Optional[float]:
+    """Mean recorded per-iteration wall-clock, if the caller's run has one."""
+    if instrumentation is None or not getattr(instrumentation, "enabled", False):
+        return None
+    registry = getattr(instrumentation, "registry", None)
+    if registry is None or "phase.iteration.seconds" not in registry:
+        return None
+    histogram = registry.histogram("phase.iteration.seconds")
+    if histogram.count == 0:
+        return None
+    return histogram.total / histogram.count
+
+
+def auto_backend(
+    ext: Optional[ExtendedNetwork] = None,
+    workers: Any = None,
+    staleness: Optional[int] = None,
+    instrumentation: Any = None,
+) -> ExecutionBackend:
+    """Pick serial/thread/process from CPUs, problem size, and timings.
+
+    The decision procedure, in order:
+
+    1. the worker cap is ``min(requested workers, available CPUs,
+       commodity count)`` -- one effective worker means serial, always
+       (sharding on a single core can only add overhead);
+    2. a measured per-iteration wall-clock from the caller's
+       instrumentation (the ``phase.iteration.seconds`` histogram of a
+       previous run) beats any static proxy when present;
+    3. otherwise the ``J * (E + V)`` work-cell proxy decides.
+
+    ``staleness`` is treated as *permission*, not a demand: it takes effect
+    only when the process backend is selected (the thread and serial
+    engines are synchronous and strictly more accurate).
+    """
+    from repro.parallel.threads import ThreadBackend
+
+    cpus = available_cpus()
+    cap = cpus if workers in (None, "auto") else min(int(workers), cpus)
+    if ext is not None:
+        cap = min(cap, ext.num_commodities)
+    cells = _work_cells(ext) if ext is not None else None
+    measured = _measured_iteration_seconds(instrumentation)
+
+    if cap <= 1:
+        kind = "serial"
+    elif measured is not None:
+        if measured >= AUTO_PROCESS_MIN_SECONDS:
+            kind = "process"
+        elif measured >= AUTO_THREAD_MIN_SECONDS:
+            kind = "thread"
+        else:
+            kind = "serial"
+    elif cells is not None:
+        if cells >= AUTO_PROCESS_MIN_CELLS:
+            kind = "process"
+        elif cells >= AUTO_THREAD_MIN_CELLS:
+            kind = "thread"
+        else:
+            kind = "serial"
+    else:
+        # no size information at all: threads are the safe parallel choice
+        # (worst case a few hundred microseconds of queue hops, never the
+        # process pool's multi-millisecond pickles)
+        kind = "thread"
+
+    inst = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+    if inst.enabled:
+        inst.event(
+            "backend.auto",
+            kind=kind,
+            workers=cap,
+            cpus=cpus,
+            **({"work_cells": cells} if cells is not None else {}),
+            **({"measured_iteration_seconds": measured} if measured is not None else {}),
+        )
+    if kind == "serial":
+        return SerialBackend()
+    if kind == "thread":
+        return ThreadBackend(workers=cap)
+    return ParallelBackend(workers=cap, staleness=staleness or 0)
+
 
 def resolve_backend(
-    backend: Optional[ExecutionBackend] = None,
-    workers: Optional[int] = None,
+    backend: Any = None,
+    workers: Any = None,
+    ext: Optional[ExtendedNetwork] = None,
+    staleness: Optional[int] = None,
+    instrumentation: Any = None,
 ) -> ExecutionBackend:
     """The backend implied by the uniform ``backend=`` / ``workers=`` pair.
 
+    ``backend`` is an :class:`ExecutionBackend` instance (returned as-is,
+    borrowed -- the caller keeps ownership) or one of the names in
+    :data:`BACKEND_NAMES`:
+
+    * ``"serial"`` -- the in-process reference engine;
+    * ``"thread"`` -- :class:`~repro.parallel.threads.ThreadBackend`,
+      zero-copy sharding over a thread pool;
+    * ``"process"`` -- :class:`ParallelBackend`;
+    * ``"auto"`` -- :func:`auto_backend` picks from CPUs, problem size
+      (``ext``), and measured timings (``instrumentation``).
+
     ``workers`` is the convenience spelling used by :func:`repro.solve` and
-    the CLI: ``None`` keeps the serial default, any count >= 1 builds a
-    :class:`ParallelBackend` (1 still exercises the pool path, which is
-    useful for testing and for isolating the iteration from the caller's
-    process).  Passing both is an error.
+    the CLI: an integer count or the string ``"auto"``.  A bare integer
+    keeps its historical meaning (the process backend), except that
+    ``workers=1`` now resolves to :class:`SerialBackend` -- a pool of one
+    is pure overhead and the serial engine computes the same bits.
+
+    When *neither* argument is given the :data:`REPRO_BACKEND_ENV`
+    environment variable supplies a default backend name (unset: serial).
+
+    ``staleness`` (process backend only) enables batched dispatch; see
+    :class:`ParallelBackend`.  Combining it with ``"serial"``/``"thread"``
+    is an error, and under ``"auto"`` it is permission rather than a
+    demand.
     """
-    if backend is not None and workers is not None:
-        raise ValueError("pass either backend= or workers=, not both")
-    if backend is not None:
+    if staleness is not None and (
+        not isinstance(staleness, int) or isinstance(staleness, bool) or staleness < 0
+    ):
+        raise ValueError(f"staleness must be a non-negative int, got {staleness!r}")
+    if isinstance(backend, ExecutionBackend):
+        if workers is not None:
+            raise ValueError("pass either backend= or workers=, not both")
+        if staleness:
+            raise ValueError(
+                "staleness= cannot be combined with a backend instance; "
+                "construct ParallelBackend(staleness=...) directly"
+            )
         return backend
-    if workers is not None:
-        return ParallelBackend(workers=workers)
-    return SerialBackend()
+
+    if backend is None and workers is None:
+        backend = os.environ.get(REPRO_BACKEND_ENV) or None
+        if backend is None:
+            if staleness:
+                raise ValueError(
+                    "staleness= requires the process backend; pass workers>=2, "
+                    "backend='process', or backend='auto'"
+                )
+            return SerialBackend()
+
+    count: Optional[int] = None
+    if workers is not None and workers != "auto":
+        count = int(workers)
+        if count < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+
+    if backend is None:
+        backend = "auto" if workers == "auto" else "process"
+    if not isinstance(backend, str) or backend not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected an ExecutionBackend "
+            f"instance or one of {BACKEND_NAMES}"
+        )
+
+    if backend == "auto":
+        return auto_backend(
+            ext=ext, workers=workers, staleness=staleness,
+            instrumentation=instrumentation,
+        )
+    if backend == "serial":
+        if count is not None and count != 1:
+            raise ValueError(
+                "backend='serial' is single-worker; drop workers= or pick "
+                "'thread'/'process'/'auto'"
+            )
+        if staleness:
+            raise ValueError("staleness= requires the process backend")
+        return SerialBackend()
+    if count == 1:
+        # one worker: any pool is pure overhead and the serial engine
+        # computes the same bits (staleness is moot -- synchronous serial
+        # execution is strictly fresher than any relaxed schedule)
+        return SerialBackend()
+    if backend == "thread":
+        if staleness:
+            raise ValueError(
+                "staleness= requires the process backend; the thread "
+                "backend is synchronous"
+            )
+        from repro.parallel.threads import ThreadBackend
+
+        return ThreadBackend(workers=count)
+    return ParallelBackend(workers=count, staleness=staleness or 0)

@@ -16,6 +16,8 @@ dtype)) to the workers through the pool initializer, where
 
 from __future__ import annotations
 
+import atexit
+import weakref
 from multiprocessing import shared_memory
 from typing import Dict, List, Tuple
 
@@ -25,6 +27,24 @@ __all__ = ["ArraySpec", "SharedArraySet", "attach_arrays"]
 
 # name -> (shared-memory block name, shape, dtype string)
 ArraySpec = Dict[str, Tuple[str, Tuple[int, ...], str]]
+
+# Every live master-side set, so a single atexit hook can unlink whatever a
+# crashed or careless run left open.  Relying on __del__ alone is not
+# enough: at interpreter shutdown the GC may never run it (reference
+# cycles, re-raised exceptions holding frames alive), and then the resource
+# tracker prints "leaked shared_memory objects" warnings and re-unlinks
+# segments out from under the namespace.  The hook runs before the
+# tracker's own atexit scan, so a clean interpreter exit stays silent.
+_LIVE_SETS: "weakref.WeakSet[SharedArraySet]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_leaked_sets() -> None:
+    for leaked in list(_LIVE_SETS):
+        try:
+            leaked.close()
+        except Exception:
+            pass
 
 
 class _untracked_attach:
@@ -64,6 +84,7 @@ class SharedArraySet:
         self._blocks: Dict[str, shared_memory.SharedMemory] = {}
         self.arrays: Dict[str, np.ndarray] = {}
         self.specs: ArraySpec = {}
+        _LIVE_SETS.add(self)
 
     def create(self, name: str, shape: Tuple[int, ...], dtype: str = "float64") -> np.ndarray:
         """Allocate one zero-initialised shared array and return its view."""
@@ -110,6 +131,7 @@ class SharedArraySet:
             except FileNotFoundError:
                 pass  # already unlinked (double close is allowed)
         self._blocks.clear()
+        _LIVE_SETS.discard(self)
 
 
 def attach_arrays(

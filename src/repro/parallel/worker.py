@@ -6,7 +6,8 @@ once (the static graph arrays never cross the pickle boundary again) and
 attaches to the shared-memory arrays published by the master; after that,
 per-iteration task descriptors are a few bytes each.
 
-Two task phases exist, mirroring the two halves of a serial iteration:
+Three task phases exist; the first two mirror the halves of a serial
+iteration, the third is the bounded-staleness batch:
 
 ``forecast``
     Solve the flow balance (eq. (3)) for each owned commodity and write its
@@ -20,6 +21,13 @@ Two task phases exist, mirroring the two halves of a serial iteration:
     wave (eq. (9)), the edge marginals (eq. (15)), the blocked sets
     (eq. (18)) and the update map ``Gamma`` (eqs. (14)-(17)) for each owned
     commodity, writing the new routing row into the ``phi_next`` buffer.
+
+``batch``
+    Run several full iterations privately over the owned shard with the
+    global ``dadf`` frozen at its dispatch value (the bounded-staleness
+    relaxed mode of ``ParallelBackend(staleness=K)``); local traffic rows
+    are re-solved every inner iteration, so only the *global* coupling is
+    stale, exactly as the paper's Section-5 asynchronous protocol allows.
 
 Every kernel invoked here is the *per-commodity* variant that is pinned
 bit-identical to the merged cross-commodity kernels the serial engine runs,
@@ -173,6 +181,56 @@ def _step_shard(
     return timings
 
 
+def _batch_shard(
+    lo: int,
+    hi: int,
+    iterations: int,
+    eta: float,
+    use_blocking: bool,
+    traffic_tol: float,
+) -> Dict[str, float]:
+    """Run ``iterations`` private iterations over this shard's commodities.
+
+    The bounded-staleness batch body: ``dadf`` stays frozen at its
+    batch-start value for every inner iteration (that is the whole point --
+    one round-trip buys ``iterations`` steps), while each commodity's own
+    traffic row is re-solved after every ``Gamma`` application, so local
+    state is always fresh.  Every read and write stays inside this shard's
+    rows -- siblings running concurrently never observe (or miss) a byte of
+    ours -- and the master only reads after all shards have returned.
+    """
+    assert _EXT is not None, "worker used before init_worker ran"
+    ext = _EXT
+    phi = _ARRAYS["phi"]
+    phi_next = _ARRAYS["phi_next"]
+    traffic = _ARRAYS["traffic"]
+    usage = _ARRAYS["usage"]
+    dadf = _ARRAYS["dadf"]
+    routing = RoutingState(phi)  # zero-copy view; we update our own rows
+    start = time.perf_counter()
+    for _ in range(iterations):
+        for j in range(lo, hi):
+            dadr = marginal_cost_to_destination(ext, j, routing, dadf)
+            delta = edge_marginals(ext, j, dadf, dadr)
+            blocked: Optional[np.ndarray] = None
+            if use_blocking:
+                blocked = compute_blocked_sets(
+                    ext, j, routing, traffic, dadr, delta, eta
+                )
+                if not blocked.any():
+                    blocked = None
+            row = phi[j].copy()
+            apply_gamma_batch(
+                row, ext.gamma_plans[j], traffic[j], delta, blocked, eta, traffic_tol
+            )
+            phi[j] = row
+            fresh = solve_traffic_commodity(ext, j, row)
+            traffic[j] = fresh
+            usage[j] = fresh[ext.edge_tail] * row * ext.cost[j]
+    phi_next[lo:hi] = phi[lo:hi]
+    return {"batch": time.perf_counter() - start}
+
+
 def run_shard(phase: str, lo: int, hi: int, *args: Any) -> Tuple[int, Dict[str, float]]:
     """Task entry point: run one phase over commodities ``[lo, hi)``.
 
@@ -188,6 +246,9 @@ def run_shard(phase: str, lo: int, hi: int, *args: Any) -> Tuple[int, Dict[str, 
     if phase == "step":
         eta, use_blocking, traffic_tol = args
         return lo, _step_shard(lo, hi, eta, use_blocking, traffic_tol)
+    if phase == "batch":
+        iterations, eta, use_blocking, traffic_tol = args
+        return lo, _batch_shard(lo, hi, iterations, eta, use_blocking, traffic_tol)
     if phase == "refresh":
         start = time.perf_counter()
         _refresh_worker(args[0])

@@ -36,6 +36,7 @@ from repro.validate.faults import (
     run_self_test,
 )
 from repro.validate.oracle import (
+    STALENESS_DRIFT_RTOL,
     AlgorithmSpec,
     DifferentialOracle,
     OracleReport,
@@ -56,6 +57,7 @@ __all__ = [
     "SelfTestRecord",
     "inject_fault",
     "run_self_test",
+    "STALENESS_DRIFT_RTOL",
     "AlgorithmSpec",
     "DifferentialOracle",
     "OracleReport",

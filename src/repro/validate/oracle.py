@@ -35,12 +35,25 @@ from repro.validate.checks import solution_flows
 
 __all__ = [
     "calibrated_gradient_config",
+    "STALENESS_DRIFT_RTOL",
     "AlgorithmSpec",
     "OracleReport",
     "RebuildStepReport",
     "RebuildOracleReport",
     "DifferentialOracle",
 ]
+
+# The documented drift bound of the process backend's bounded-staleness
+# batched dispatch (``staleness > 0``): the relaxed run's final utility must
+# stay within this relative tolerance of the synchronous serial run on the
+# same instance.  Small staleness only delays the global ``dadf`` by a few
+# iterations -- well inside the tolerance the paper's Section-5 asynchronous
+# protocol grants -- so drift stays a fraction of the eps-barrier headroom
+# (see docs/parallelism.md and benchmarks/bench_stale_marginals.py for the
+# measurements behind the number).  Use
+# ``DifferentialOracle(utility_rtol=STALENESS_DRIFT_RTOL).compare(...)``;
+# ``compare_backends`` stays reserved for the bit-identity contract.
+STALENESS_DRIFT_RTOL = 0.02
 
 
 def calibrated_gradient_config(max_iterations: int = 6000) -> GradientConfig:
@@ -53,19 +66,34 @@ def calibrated_gradient_config(max_iterations: int = 6000) -> GradientConfig:
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """One side of a differential comparison: method + config + backend."""
+    """One side of a differential comparison: method + config + backend.
+
+    ``workers``/``backend``/``staleness`` are forwarded verbatim to
+    :func:`repro.solve`, so a spec can pin any execution backend: the
+    process pool (``workers=N``), the thread pool (``backend="thread"``),
+    auto-selection (``workers="auto"``), or the relaxed batched mode
+    (``staleness=K``).
+    """
 
     method: str = "gradient"
     config: Any = None
-    workers: Optional[int] = None
+    workers: Any = None
+    backend: Any = None
     label: Optional[str] = None
+    staleness: Optional[int] = None
 
     @property
     def name(self) -> str:
         if self.label:
             return self.label
-        suffix = f"[workers={self.workers}]" if self.workers else ""
-        return self.method + suffix
+        parts = []
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
+        if self.workers is not None:
+            parts.append(f"workers={self.workers}")
+        if self.staleness:
+            parts.append(f"staleness={self.staleness}")
+        return self.method + (f"[{', '.join(parts)}]" if parts else "")
 
 
 @dataclass
@@ -247,6 +275,8 @@ class DifferentialOracle:
                     method=spec.method,
                     config=spec.config,
                     workers=spec.workers,
+                    backend=spec.backend,
+                    staleness=spec.staleness,
                     full_result=True,
                     validate=validate,
                 )
@@ -310,22 +340,29 @@ class DifferentialOracle:
     def compare_backends(
         self,
         stream_network,
-        workers: int = 2,
+        workers: Any = 2,
         method: str = "gradient",
         config: Any = None,
         validate: Any = False,
+        backend: Any = None,
     ) -> OracleReport:
-        """Serial vs process-parallel on the same workload: must be bit-equal.
+        """Serial vs a parallel backend on the same workload: must be bit-equal.
 
         This is the oracle form of the determinism contract in
         docs/parallelism.md -- the report fails unless the full routing
         matrix, the admitted rates, and every recorded utility agree
-        exactly across backends.
+        exactly across backends.  ``backend`` picks the parallel side
+        (default: the historical process pool; pass ``"thread"`` for the
+        zero-copy thread backend).  The bit-identity requirement covers
+        only synchronous schedules: for ``staleness > 0`` runs use
+        :meth:`compare` with ``utility_rtol=STALENESS_DRIFT_RTOL`` instead.
         """
         spec_a = AlgorithmSpec(
             method=method, config=config, label=f"{method}[serial]"
         )
-        spec_b = AlgorithmSpec(method=method, config=config, workers=workers)
+        spec_b = AlgorithmSpec(
+            method=method, config=config, workers=workers, backend=backend
+        )
         return self.compare(
             stream_network,
             spec_a,

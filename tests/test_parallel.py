@@ -10,6 +10,10 @@ hang or a wedged pool.
 
 from __future__ import annotations
 
+import subprocess
+import sys
+import textwrap
+
 import numpy as np
 import pytest
 
@@ -22,8 +26,13 @@ from repro import (
     solve,
 )
 from repro.core.routing import initial_routing, solve_traffic
-from repro.parallel import ParallelBackend, SerialBackend, resolve_backend
-from repro.parallel.backend import _split_shards
+from repro.parallel import (
+    ParallelBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+from repro.parallel.backend import REPRO_BACKEND_ENV, _split_shards
 from repro.workloads import random_stream_network
 from repro.workloads.random_network import RandomNetworkSpec
 
@@ -240,7 +249,8 @@ class TestBackendLifecycle:
         with pytest.raises(ValueError):
             ParallelBackend(workers=0)
 
-    def test_resolve_backend(self):
+    def test_resolve_backend(self, monkeypatch):
+        monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
         assert isinstance(resolve_backend(), SerialBackend)
         backend = resolve_backend(workers=3)
         assert isinstance(backend, ParallelBackend)
@@ -250,6 +260,72 @@ class TestBackendLifecycle:
         with pytest.raises(ValueError):
             resolve_backend(backend=explicit, workers=2)
 
+    def test_resolve_backend_one_worker_is_serial(self, monkeypatch):
+        """A pool of one is pure overhead: workers=1 means the serial engine."""
+        monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+        assert isinstance(resolve_backend(workers=1), SerialBackend)
+        assert isinstance(resolve_backend(backend="thread", workers=1), SerialBackend)
+        assert isinstance(resolve_backend(backend="process", workers=1), SerialBackend)
+
+    def test_resolve_backend_names(self, monkeypatch):
+        monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+        assert isinstance(resolve_backend(backend="serial"), SerialBackend)
+        thread = resolve_backend(backend="thread", workers=2)
+        assert isinstance(thread, ThreadBackend) and thread.workers == 2
+        process = resolve_backend(backend="process", workers=2)
+        assert isinstance(process, ParallelBackend) and process.workers == 2
+        stale = resolve_backend(workers=4, staleness=3)
+        assert isinstance(stale, ParallelBackend) and stale.staleness == 3
+        with pytest.raises(ValueError):
+            resolve_backend(backend="bogus")
+        with pytest.raises(ValueError):
+            resolve_backend(backend="serial", workers=4)
+        with pytest.raises(ValueError):
+            resolve_backend(backend="thread", workers=2, staleness=1)
+        with pytest.raises(ValueError):
+            resolve_backend(staleness=2)  # needs the process backend
+        with pytest.raises(ValueError):
+            resolve_backend(workers=2, staleness=-1)
+
+    def test_resolve_backend_auto(self, monkeypatch):
+        """Auto picks serial whenever one effective worker is all there is."""
+        monkeypatch.delenv(REPRO_BACKEND_ENV, raising=False)
+        ext = _random_ext(seed=1)
+        resolved = resolve_backend(workers="auto", ext=ext)
+        # small instance (or a single-CPU host): must not pay any pool
+        from repro.parallel.backend import AUTO_THREAD_MIN_CELLS, available_cpus
+
+        cells = ext.num_commodities * (ext.num_edges + ext.num_nodes)
+        if available_cpus() == 1 or cells < AUTO_THREAD_MIN_CELLS:
+            assert isinstance(resolved, SerialBackend)
+        resolved.close()
+        # without size information auto never picks the process pool
+        if available_cpus() > 1:
+            anonymous = resolve_backend(workers="auto")
+            assert not isinstance(anonymous, ParallelBackend)
+            anonymous.close()
+
+    def test_resolve_backend_env_default(self, monkeypatch):
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "thread")
+        resolved = resolve_backend()
+        assert isinstance(resolved, ThreadBackend)
+        resolved.close()
+        # explicit arguments always beat the environment
+        assert isinstance(resolve_backend(backend="serial"), SerialBackend)
+        monkeypatch.setenv(REPRO_BACKEND_ENV, "bogus")
+        with pytest.raises(ValueError):
+            resolve_backend()
+
+    def test_pool_clamped_to_commodity_count(self):
+        """No worker process is started just to receive empty shards."""
+        ext = _random_ext(seed=5, num_commodities=3)
+        with ParallelBackend(workers=8) as backend:
+            backend.bind(ext, GradientConfig(eta=0.04))
+            backend.build_context(initial_routing(ext))
+            assert backend._pool_size == 3
+            assert len(backend._shards) == 3
+            assert backend._pool._max_workers == 3
+
     def test_split_shards(self):
         assert _split_shards(5, 2) == [(0, 3), (3, 5)]
         assert _split_shards(3, 8) == [(0, 1), (1, 2), (2, 3)]
@@ -257,3 +333,177 @@ class TestBackendLifecycle:
         shards = _split_shards(7, 3)
         covered = [j for lo, hi in shards for j in range(lo, hi)]
         assert covered == list(range(7))
+
+
+class TestStaleness:
+    """The bounded-staleness batched-dispatch contract of ParallelBackend."""
+
+    def test_staleness_zero_is_bit_identical(self):
+        """staleness=0 keeps the synchronous schedule: same bits as serial."""
+        ext = _random_ext(seed=5)
+        config = GradientConfig(eta=0.04, max_iterations=40, record_every=5)
+        r_serial = GradientAlgorithm(ext, config).run()
+        with ParallelBackend(workers=2, staleness=0) as backend:
+            r_stale = GradientAlgorithm(ext, config, backend=backend).run()
+        assert r_serial.iterations == r_stale.iterations
+        assert [h.cost for h in r_serial.history] == [
+            h.cost for h in r_stale.history
+        ]
+        assert np.array_equal(
+            r_serial.solution.routing.phi, r_stale.solution.routing.phi
+        )
+
+    def test_staleness_within_documented_drift_bound(self):
+        """staleness>0 relaxes bit-identity but not the drift bound."""
+        from repro.validate import (
+            STALENESS_DRIFT_RTOL,
+            AlgorithmSpec,
+            DifferentialOracle,
+        )
+
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=16, num_commodities=2), seed=4
+        )
+        config = GradientConfig(eta=0.04, max_iterations=60, record_every=10)
+        oracle = DifferentialOracle(utility_rtol=STALENESS_DRIFT_RTOL)
+        report = oracle.compare(
+            net,
+            AlgorithmSpec(config=config, label="serial"),
+            AlgorithmSpec(config=config, workers=2, staleness=4),
+        )
+        assert report.passed, report.summary()
+
+    @pytest.mark.parametrize("staleness", [1, 4])
+    def test_barrier_knife_edge_stays_within_drift_bound(self, staleness):
+        """Regression: near the capacity barrier a batch on frozen dadf can
+        overshoot into the penalty wall -- and the accumulated drift can flip
+        a discrete blocked-set decision, after which even the exact full-eta
+        step ascends.  Unguarded, this instance drifted ~40% from serial.
+        The monotonicity guard must reject the blown-up batches (visible in
+        parallel.batch_rejected) and the eta-backoff redo must keep the
+        final utility inside the documented bound."""
+        from repro.validate import STALENESS_DRIFT_RTOL
+
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=20, num_commodities=3), seed=7
+        )
+        config = GradientConfig(eta=0.04, max_iterations=120, record_every=10)
+        serial = solve(net, config=config, full_result=True)
+        inst = Instrumentation()
+        stale = solve(
+            net, config=config, workers=2, staleness=staleness,
+            full_result=True, instrumentation=inst,
+        )
+        drift = abs(stale.final_utility - serial.final_utility) / abs(
+            serial.final_utility
+        )
+        assert drift <= STALENESS_DRIFT_RTOL, drift
+        counters = inst.registry.as_dict()["counters"]
+        assert counters.get("parallel.batch_rejected", 0) > 0
+        # rejected batches are redone synchronously: one logical flow solve
+        # per iteration either way (backtracking trials count separately)
+        assert counters["flow_solves"] == config.max_iterations + 1
+
+    def test_staleness_preserves_record_cadence(self):
+        """Batches never cross a record boundary: the trajectory keeps its
+        exact record_every sampling, relaxed mode or not."""
+        ext = _random_ext(seed=7)
+        config = GradientConfig(eta=0.04, max_iterations=40, record_every=5)
+        r_serial = GradientAlgorithm(ext, config).run()
+        with ParallelBackend(workers=2, staleness=3) as backend:
+            r_stale = GradientAlgorithm(ext, config, backend=backend).run()
+        assert [h.iteration for h in r_stale.history] == [
+            h.iteration for h in r_serial.history
+        ]
+
+    def test_staleness_flow_solve_count_invariant(self):
+        """Batched dispatch still performs one flow solve per iteration."""
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=16, num_commodities=2), seed=8
+        )
+        config = GradientConfig(
+            eta=0.04, max_iterations=20, record_every=5, tolerance=0.0
+        )
+        inst_serial, inst_stale = Instrumentation(), Instrumentation()
+        solve(net, config=config, instrumentation=inst_serial)
+        solve(net, config=config, instrumentation=inst_stale, workers=2, staleness=4)
+        serial_solves = inst_serial.registry.counter("flow_solves").value
+        stale_solves = inst_stale.registry.counter("flow_solves").value
+        assert serial_solves == stale_solves
+        assert inst_stale.registry.counter("parallel.batches").value > 0
+
+    def test_invalid_staleness(self):
+        with pytest.raises(ValueError):
+            ParallelBackend(workers=2, staleness=-1)
+        with pytest.raises(ValueError):
+            ParallelBackend(workers=2, staleness="2")
+
+    def test_solve_staleness_requires_gradient_method(self):
+        net = random_stream_network(
+            RandomNetworkSpec(num_nodes=14, num_commodities=2), seed=6
+        )
+        with pytest.raises(TypeError, match="staleness"):
+            solve(net, method="distributed", workers=2, staleness=2)
+
+    def test_batch_worker_fault_surfaces_clean_error(self):
+        ext = _random_ext(seed=3)
+        config = GradientConfig(eta=0.04, max_iterations=10, record_every=5)
+        backend = ParallelBackend(workers=2, staleness=4, inject_fault="batch")
+        try:
+            with pytest.raises(ParallelExecutionError, match="batch"):
+                GradientAlgorithm(ext, config, backend=backend).run()
+        finally:
+            backend.close()
+
+
+class TestResourceHygiene:
+    """No leaked pools or shared-memory segments at interpreter exit."""
+
+    def test_no_resource_tracker_leak_warnings(self):
+        """A clean run, a crashed run, and an unclosed backend must all exit
+        without resource_tracker leak warnings (the shm atexit safety net
+        plus solve()'s context-managed backend lifecycle)."""
+        script = textwrap.dedent(
+            """
+            from repro import (
+                GradientAlgorithm,
+                GradientConfig,
+                ParallelExecutionError,
+                build_extended_network,
+                solve,
+            )
+            from repro.core.routing import initial_routing
+            from repro.parallel import ParallelBackend
+            from repro.workloads import random_stream_network
+            from repro.workloads.random_network import RandomNetworkSpec
+
+            net = random_stream_network(
+                RandomNetworkSpec(num_nodes=16, num_commodities=2), seed=8
+            )
+            config = GradientConfig(eta=0.04, max_iterations=5)
+            solve(net, config=config, workers=2)  # clean path
+
+            ext = build_extended_network(net)
+            crashing = ParallelBackend(workers=2, inject_fault="step")
+            try:
+                GradientAlgorithm(ext, config, backend=crashing).run()
+            except ParallelExecutionError:
+                pass  # the crash path tears pool + segments down
+
+            leaky = ParallelBackend(workers=2)
+            leaky.bind(ext, config)
+            leaky.build_context(initial_routing(ext))
+            # never closed: the atexit safety net must unlink the segments
+            print("SUBPROCESS-OK")
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "SUBPROCESS-OK" in proc.stdout
+        for marker in ("resource_tracker", "leaked", "KeyError"):
+            assert marker not in proc.stderr, proc.stderr
