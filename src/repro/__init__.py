@@ -72,6 +72,7 @@ from repro.core import (
     solve_optimal,
 )
 from repro.obs import NULL_INSTRUMENTATION, Instrumentation
+from repro.options import SolveOptions
 from repro.exceptions import (
     ConvergenceError,
     InfeasibleError,
@@ -89,6 +90,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "solve",
+    "SolveOptions",
     "Instrumentation",
     "RunResult",
     "RunResultMixin",
@@ -195,14 +197,15 @@ def _coerce_config(method: str, config, legacy: dict):
 
 def solve(
     stream_network: StreamNetwork,
-    method: str = "gradient",
+    method: Optional[str] = None,
     config: Optional[Union[GradientConfig, BackpressureConfig]] = None,
     instrumentation: Optional[Instrumentation] = None,
-    full_result: bool = False,
+    full_result: Optional[bool] = None,
     workers: Optional[Union[int, str]] = None,
     backend=None,
     staleness: Optional[int] = None,
-    validate: Union[bool, str] = False,
+    validate: Union[bool, str, None] = None,
+    options: Optional[SolveOptions] = None,
     **legacy,
 ):
     """Solve the joint admission/routing/allocation problem for a model.
@@ -211,6 +214,12 @@ def solve(
     ----------
     stream_network:
         The validated problem instance.
+    options:
+        A single frozen :class:`SolveOptions` carrying every knob below.
+        This is the preferred spelling; the individual keyword arguments
+        are retained as deprecated aliases for it (one release) and may
+        not be combined with ``options=``.  See the migration table in
+        docs/api.md.
     method:
         ``"gradient"`` -- the paper's distributed algorithm, synchronous
         engine (default);
@@ -278,10 +287,39 @@ def solve(
     Solution or RunResult
         The final solution, or the full result when ``full_result=True``.
     """
+    explicit = {
+        name: value
+        for name, value in (
+            ("method", method),
+            ("config", config),
+            ("instrumentation", instrumentation),
+            ("full_result", full_result),
+            ("workers", workers),
+            ("backend", backend),
+            ("staleness", staleness),
+            ("validate", validate),
+        )
+        if value is not None
+    }
+    if options is not None:
+        if explicit or legacy:
+            clash = sorted(explicit) + sorted(legacy)
+            raise TypeError(
+                f"solve() got both options= and the keyword aliases {clash}; "
+                f"fold them into the SolveOptions (options.replace(...))"
+            )
+        if not isinstance(options, SolveOptions):
+            raise TypeError(
+                f"options= takes a SolveOptions, got {type(options).__name__}"
+            )
+        opts = options
+    else:
+        opts = SolveOptions.from_kwargs(**explicit)
     return _solve_impl(
-        stream_network, method, config, instrumentation, full_result, legacy,
-        workers=workers, backend=backend, staleness=staleness,
-        validate=validate,
+        stream_network, opts.method, opts.config, opts.instrumentation,
+        opts.full_result, legacy,
+        workers=opts.workers, backend=opts.backend, staleness=opts.staleness,
+        validate=opts.validate,
     )
 
 

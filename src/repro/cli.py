@@ -45,6 +45,7 @@ from repro import (
     BackpressureConfig,
     GradientConfig,
     Instrumentation,
+    SolveOptions,
     build_extended_network,
     solve,
 )
@@ -139,8 +140,7 @@ def _workers_arg(value: str):
 
 def _instrumented_solve(args: argparse.Namespace, instrumentation, validate=False):
     network = load_network(args.model)
-    return solve(
-        network,
+    options = SolveOptions(
         method=args.method,
         config=_make_config(args),
         instrumentation=instrumentation,
@@ -150,6 +150,7 @@ def _instrumented_solve(args: argparse.Namespace, instrumentation, validate=Fals
         staleness=args.staleness,
         validate=validate,
     )
+    return solve(network, options=options)
 
 
 def _export_instrumentation(args: argparse.Namespace, inst, quiet: bool) -> None:

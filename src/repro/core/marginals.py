@@ -31,6 +31,7 @@ from repro.core.routing import (
     resource_usage,
     solve_traffic,
 )
+from repro.core.state import ModelState, use_array_core
 from repro.core.transform import ExtendedNetwork
 
 __all__ = [
@@ -256,8 +257,14 @@ def all_marginal_costs(
     :class:`~repro.core.transform.MergedWavePlan`: the commodities' flattened
     index spaces are disjoint, so a single ordered scatter per level yields
     each row bit-identical to :func:`marginal_cost_to_destination`.
+
+    Under the array core (the default) the wave runs as CSR mat-vec sweeps
+    over :class:`repro.core.state.ModelState`'s height levels -- same
+    contributions in the same order, still bit identical.
     """
     phi_flat = routing.phi.reshape(-1)
+    if use_array_core():
+        return ModelState.of(ext).marginal_costs(phi_flat, dadf)
     dadr = np.zeros((ext.num_commodities, ext.num_nodes), dtype=float)
     dadr_flat = dadr.reshape(-1)
     for edges, raw, tails, heads, gains, costs, _uh, unique_tails in (

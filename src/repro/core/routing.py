@@ -26,6 +26,7 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.core.state import ModelState, use_array_core
 from repro.core.transform import ExtendedNetwork, ExtNodeKind
 from repro.exceptions import InfeasibleError, RoutingError
 
@@ -34,6 +35,8 @@ __all__ = [
     "initial_routing",
     "uniform_routing",
     "validate_routing",
+    "external_inputs",
+    "external_inputs_rows",
     "solve_traffic",
     "solve_traffic_commodity",
     "solve_traffic_scalar",
@@ -157,6 +160,16 @@ def external_inputs(ext: ExtendedNetwork) -> np.ndarray:
     return template.copy()
 
 
+def external_inputs_rows(ext: ExtendedNetwork, lo: int, hi: int) -> np.ndarray:
+    """Rows ``[lo, hi)`` of :func:`external_inputs` as a read-only view.
+
+    Sharded workers seed their commodity rows from this without copying the
+    whole ``(J, V)`` template every dispatch.
+    """
+    external_inputs(ext)  # ensure the cached template exists
+    return ext._external_inputs_template[lo:hi]
+
+
 def solve_traffic(ext: ExtendedNetwork, routing: RoutingState) -> np.ndarray:
     """Solve the gain-aware flow balance (eq. (3)) for all commodities.
 
@@ -171,9 +184,18 @@ def solve_traffic(ext: ExtendedNetwork, routing: RoutingState) -> np.ndarray:
     accumulates element by element in index order (and the fancy ``+=`` fast
     path only fires when a level's heads are distinct), so the result is bit
     identical to :func:`solve_traffic_scalar` -- the property tests pin this.
+
+    When the array core is active (the default, see
+    :mod:`repro.core.state`) the levels instead run as CSR mat-vec sweeps
+    of the cached :class:`~repro.core.state.ModelState`, which visits the
+    same contributions in the same order -- still bit identical, pinned by
+    ``DifferentialOracle.compare_cores``.
     """
     phi_flat = routing.phi.reshape(-1)
     t = external_inputs(ext)
+    if use_array_core():
+        ModelState.of(ext).solve_traffic_into(t.reshape(-1), phi_flat)
+        return t
     t_flat = t.reshape(-1)
     for edges, _raw, tails, heads, gains, _costs, unique, _ut in (
         ext.merged_forward_plan.levels
@@ -286,7 +308,18 @@ def resource_usage(
     Returns ``(edge_usage, node_usage)``: ``edge_usage[e] = f_ik`` is the
     tail-node resource consumed by all commodities crossing ``e``;
     ``node_usage[i] = f_i`` sums ``edge_usage`` over ``i``'s out-edges.
+
+    The array core computes this from the allowed cells only (``O(P + E)``
+    instead of the dense ``O(J * E)`` product) with the same per-edge
+    commodity-order association -- bit identical, see
+    :meth:`repro.core.state.ModelState.resource_usage`.
     """
+    if use_array_core():
+        if traffic is None:
+            traffic = solve_traffic(ext, routing)
+        return ModelState.of(ext).resource_usage(
+            routing.phi.reshape(-1), traffic.reshape(-1)
+        )
     flows = commodity_edge_flows(ext, routing, traffic)
     # same commodity-order sequential sum as einsum("je,je->e"), less dispatch
     edge_usage = np.add.reduce(flows * ext.cost, axis=0)

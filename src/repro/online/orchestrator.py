@@ -149,12 +149,36 @@ class OnlineOrchestrator:
         incremental: bool = True,
         backend=None,
         workers: Optional[int] = None,
+        options=None,
     ) -> None:
         self.initial_network = network
         self.events = sorted(events, key=lambda e: e.at_iteration)
         for a, b in zip(self.events, self.events[1:]):
             if a.at_iteration == b.at_iteration:
                 raise ModelError("one event per iteration, please")
+        if options is not None:
+            # the unified SolveOptions spelling (repro.options): carries
+            # config/backend/workers; the bare kwargs are its deprecated
+            # aliases and may not be combined with it
+            from repro.options import SolveOptions
+
+            if not isinstance(options, SolveOptions):
+                raise ModelError(
+                    f"options= takes a SolveOptions, got {type(options).__name__}"
+                )
+            if config is not None or backend is not None or workers is not None:
+                raise ModelError(
+                    "pass either options= or the config=/backend=/workers= "
+                    "aliases, not both"
+                )
+            if options.method != "gradient":
+                raise ModelError(
+                    "the online orchestrator drives the gradient method; "
+                    f"got options.method={options.method!r}"
+                )
+            config = options.config
+            backend = options.backend
+            workers = options.workers
         self.config = config or GradientConfig()
         self.warm_start = warm_start
         self.shed_on_event = shed_on_event

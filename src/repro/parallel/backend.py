@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from repro.core.context import IterationContext, build_iteration_context
 from repro.core.gradient import GradientConfig, apply_gamma_batch
 from repro.core.marginals import evaluate_cost, link_cost_derivative
 from repro.core.routing import RoutingState
+from repro.core.state import ModelState, use_array_core
 from repro.core.transform import ExtendedNetwork
 from repro.exceptions import ParallelExecutionError
 from repro.obs.instrumentation import NULL_INSTRUMENTATION
@@ -300,6 +301,9 @@ class ParallelBackend(ExecutionBackend):
         # fixed for the pool's lifetime; later refreshes re-shard within it
         self._pool_size: int = 0
         self._barrier: Optional[Any] = None
+        # resolved at pool start and shipped to the workers: does this pool
+        # run the array core's row-block kernels (repro.core.state)?
+        self._array: bool = False
 
     # -- lifecycle -----------------------------------------------------------------
     def bind(self, ext: ExtendedNetwork, config: GradientConfig) -> None:
@@ -320,19 +324,29 @@ class ParallelBackend(ExecutionBackend):
                 "GradientAlgorithm(..., backend=...) or call bind(ext, config)"
             )
         ext = self._ext
+        # resolve the model core once for the pool's lifetime; the flag is
+        # shipped to every worker so the two sides can never disagree
+        self._array = use_array_core()
         # build the lazy plans once on the master so the pickled network the
         # workers receive already carries them
         _ = ext.flow_plans, ext.gamma_plans, ext.merged_gamma_plan
+        if self._array:
+            ModelState.of(ext)
         shm = SharedArraySet()
         try:
             shape_je = (ext.num_commodities, ext.num_edges)
-            shm.create("phi", shape_je)
-            shm.create("phi_next", shape_je)
-            shm.create("usage", shape_je)
-            shm.create("traffic", (ext.num_commodities, ext.num_nodes))
-            shm.create("dadf", (ext.num_edges,))
             self._shards = _split_shards(ext.num_commodities, self.workers)
             self._pool_size = len(self._shards)
+            shm.create("phi", shape_je)
+            shm.create("phi_next", shape_je)
+            # array core: one (E,) usage partial per shard, summed by the
+            # master in shard order -- O(S * E) shm instead of O(J * E)
+            shm.create(
+                "usage",
+                (self._pool_size, ext.num_edges) if self._array else shape_je,
+            )
+            shm.create("traffic", (ext.num_commodities, ext.num_nodes))
+            shm.create("dadf", (ext.num_edges,))
             import multiprocessing
 
             ctx = (
@@ -347,7 +361,10 @@ class ParallelBackend(ExecutionBackend):
             self._pool = ProcessPoolExecutor(
                 max_workers=self._pool_size,
                 initializer=init_worker,
-                initargs=(ext, shm.specs, self._inject_fault, self._barrier),
+                initargs=(
+                    ext, shm.specs, self._inject_fault, self._barrier,
+                    self._array,
+                ),
                 mp_context=ctx,
             )
         except BaseException:
@@ -392,13 +409,38 @@ class ParallelBackend(ExecutionBackend):
             ) from first_error
         return results
 
-    def _dispatch(self, phase: str, args: Sequence[Any] = ()) -> List[Any]:
+    def _dispatch(
+        self, phase: str, args: Sequence[Any] = (), indexed: bool = False
+    ) -> List[Any]:
         assert self._pool is not None
-        futures: List[Future] = [
-            self._pool.submit(run_shard, phase, lo, hi, *args)
-            for lo, hi in self._shards
-        ]
+        if indexed:
+            # phases that publish per-shard results (the array core's usage
+            # partials) receive their shard index as the first argument
+            futures: List[Future] = [
+                self._pool.submit(run_shard, phase, lo, hi, k, *args)
+                for k, (lo, hi) in enumerate(self._shards)
+            ]
+        else:
+            futures = [
+                self._pool.submit(run_shard, phase, lo, hi, *args)
+                for lo, hi in self._shards
+            ]
         return self._collect(phase, futures)
+
+    def _reduce_usage(self, arrays: Dict[str, np.ndarray]) -> np.ndarray:
+        """Deterministic fixed-order usage reduce (eq. (4)).
+
+        Object core: the same ``np.add.reduce`` over the same ``(J, E)``
+        bits as the serial path.  Array core: per-shard ``(E,)`` partials
+        summed in ascending-commodity shard order -- contiguous sub-sums of
+        the serial CSR row sum, so the association (and every output bit)
+        is unchanged.  Either way worker completion order cannot influence
+        a single bit.
+        """
+        rows = arrays["usage"]
+        if self._array:
+            rows = rows[: len(self._shards)]
+        return np.add.reduce(rows, axis=0)
 
     # -- epoch refresh -------------------------------------------------------------
     def refresh(self, applied: Any, instrumentation: Any = None) -> None:
@@ -421,11 +463,17 @@ class ParallelBackend(ExecutionBackend):
         if applied.structural:
             # build the lazy plans before pickling, as _ensure_started does
             _ = ext.flow_plans, ext.gamma_plans, ext.merged_gamma_plan
+            if self._array:
+                ModelState.of(ext)
             shm = self._shm
             shapes = {
                 "phi": (ext.num_commodities, ext.num_edges),
                 "phi_next": (ext.num_commodities, ext.num_edges),
-                "usage": (ext.num_commodities, ext.num_edges),
+                "usage": (
+                    (self._pool_size, ext.num_edges)
+                    if self._array
+                    else (ext.num_commodities, ext.num_edges)
+                ),
                 "traffic": (ext.num_commodities, ext.num_nodes),
                 "dadf": (ext.num_edges,),
             }
@@ -484,11 +532,8 @@ class ParallelBackend(ExecutionBackend):
         arrays = self._shm.arrays
         with inst.phase("flow_solve"):
             np.copyto(arrays["phi"], routing.phi)
-            results = self._dispatch("forecast")
-            # deterministic fixed-order reduce: same call, same (J, E) bits,
-            # same association as the serial resource_usage -- worker
-            # completion order cannot influence a single output bit
-            edge_usage = np.add.reduce(arrays["usage"], axis=0)
+            results = self._dispatch("forecast", indexed=True)
+            edge_usage = self._reduce_usage(arrays)
             node_usage = np.zeros(ext.num_nodes, dtype=float)
             np.add.at(node_usage, ext.edge_tail, edge_usage)
             traffic = arrays["traffic"].copy()
@@ -599,12 +644,13 @@ class ParallelBackend(ExecutionBackend):
             with inst.phase("parallel_batch", iterations=span):
                 np.copyto(arrays["phi"], routing.phi)
                 results = self._dispatch(
-                    "batch", (span, eta, cfg.use_blocking, cfg.traffic_tol)
+                    "batch", (span, eta, cfg.use_blocking, cfg.traffic_tol),
+                    indexed=True,
                 )
                 new_phi = arrays["phi_next"].copy()
                 # same fixed-order reduce and master-side derivative as the
                 # synchronous build_context, over the batch-final rows
-                edge_usage = np.add.reduce(arrays["usage"], axis=0)
+                edge_usage = self._reduce_usage(arrays)
                 node_usage = np.zeros(ext.num_nodes, dtype=float)
                 np.add.at(node_usage, ext.edge_tail, edge_usage)
                 traffic = arrays["traffic"].copy()

@@ -47,7 +47,8 @@ from repro.core.marginals import (
     link_cost_derivative,
     marginal_cost_to_destination,
 )
-from repro.core.routing import RoutingState, solve_traffic_commodity
+from repro.core.routing import RoutingState, external_inputs, solve_traffic_commodity
+from repro.core.state import ModelState, use_array_core
 from repro.core.transform import ExtendedNetwork
 from repro.exceptions import ParallelExecutionError
 from repro.obs.instrumentation import NULL_INSTRUMENTATION
@@ -96,6 +97,14 @@ class ThreadBackend(ExecutionBackend):
         self._phi_next: Optional[np.ndarray] = None
         self._dadf: Optional[np.ndarray] = None
         self._loaded_for: Optional[RoutingState] = None
+        # array-core mode (repro.core.state): shards run the row-block CSR
+        # kernels of the shared ModelState instead of per-commodity walks
+        self._mode: Optional[str] = None
+        self._state: Optional[ModelState] = None
+        self._shard_index: Dict[int, int] = {}
+        self._dadr: Optional[np.ndarray] = None
+        self._delta: Optional[np.ndarray] = None
+        self._blocked: Optional[np.ndarray] = None
 
     # -- lifecycle -----------------------------------------------------------------
     def bind(self, ext: ExtendedNetwork, config: GradientConfig) -> None:
@@ -130,14 +139,37 @@ class ThreadBackend(ExecutionBackend):
                 "GradientAlgorithm(..., backend=...) or call bind(ext, config)"
             )
         shape_je = (ext.num_commodities, ext.num_edges)
-        if self._phi_next is None or self._phi_next.shape != shape_je:
+        mode = "array" if use_array_core() else "object"
+        if (
+            self._phi_next is None
+            or self._phi_next.shape != shape_je
+            or mode != self._mode
+        ):
+            self._mode = mode
             self._phi_next = np.zeros(shape_je)
-            self._usage = np.zeros(shape_je)
             self._traffic = np.zeros((ext.num_commodities, ext.num_nodes))
             self._shards = _split_shards(ext.num_commodities, self.workers)
-            # touch the lazy per-commodity plans once so iteration-time
-            # tasks never pay (or re-time) the plan construction
-            _ = ext.flow_plans, ext.gamma_plans
+            self._shard_index = {lo: k for k, (lo, _hi) in enumerate(self._shards)}
+            if mode == "array":
+                # row-block sharding over the shared ModelState: per-shard
+                # usage partials (summed in shard order on the master) plus
+                # full-width dadr/delta/blocked scratch written row-wise
+                self._state = ModelState.of(ext)
+                self._usage = np.zeros((len(self._shards), ext.num_edges))
+                self._dadr = np.zeros((ext.num_commodities, ext.num_nodes))
+                self._delta = np.zeros(shape_je)
+                self._blocked = np.zeros(shape_je, dtype=bool)
+                _ = ext.merged_gamma_plan
+                for lo, hi in self._shards:
+                    # prebuild the block plans on the master so worker
+                    # threads never race the plan cache
+                    self._state.block(lo, hi)
+            else:
+                self._state = None
+                self._usage = np.zeros(shape_je)
+                # touch the lazy per-commodity plans once so iteration-time
+                # tasks never pay (or re-time) the plan construction
+                _ = ext.flow_plans, ext.gamma_plans
             if self._pool is not None and self._pool._max_workers != len(self._shards):
                 pool, self._pool = self._pool, None
                 pool.shutdown(wait=True)
@@ -153,6 +185,9 @@ class ThreadBackend(ExecutionBackend):
         self._traffic = self._usage = self._phi_next = None
         self._dadf = None
         self._loaded_for = None
+        self._mode = None
+        self._state = None
+        self._dadr = self._delta = self._blocked = None
 
     # -- dispatch ------------------------------------------------------------------
     def _run_shard(
@@ -258,6 +293,68 @@ class ThreadBackend(ExecutionBackend):
             timings["gamma"] += time.perf_counter() - start
         return timings
 
+    # -- array-core shard bodies (row-block CSR kernels over ModelState) -------------
+    def _forecast_shard_array(self, lo: int, hi: int, phi: np.ndarray) -> None:
+        state = self._state
+        t_flat = self._traffic.reshape(-1)
+        phi_flat = phi.reshape(-1)
+        state.solve_traffic_block(t_flat, phi_flat, lo, hi)
+        # per-shard (E,) usage partial; the master sums partials in shard
+        # order, which reproduces the full CSR row-sum association exactly
+        self._usage[self._shard_index[lo]] = state.usage_partial_block(
+            phi_flat, t_flat, lo, hi
+        )
+
+    def _step_shard_array(
+        self, lo: int, hi: int, routing: RoutingState, eta: float
+    ) -> Dict[str, float]:
+        state = self._state
+        cfg = self._config
+        phi = routing.phi
+        phi_flat = phi.reshape(-1)
+        t_flat = self._traffic.reshape(-1)
+        dadf = self._dadf
+        dadr_flat = self._dadr.reshape(-1)
+        delta_flat = self._delta.reshape(-1)
+        timings = {"marginals": 0.0, "blocking": 0.0, "gamma": 0.0}
+        start = time.perf_counter()
+        self._dadr[lo:hi] = 0.0
+        state.marginal_costs_block(dadr_flat, phi_flat, dadf, lo, hi)
+        self._delta[lo:hi] = 0.0
+        state.edge_marginals_block(delta_flat, dadf, dadr_flat, lo, hi)
+        timings["marginals"] = time.perf_counter() - start
+        blocked_flat: Optional[np.ndarray] = None
+        if cfg.use_blocking:
+            start = time.perf_counter()
+            self._blocked[lo:hi] = False
+            if state.blocked_sets_block(
+                self._blocked.reshape(-1),
+                phi_flat,
+                t_flat,
+                dadr_flat,
+                delta_flat,
+                eta,
+                lo,
+                hi,
+            ):
+                blocked_flat = self._blocked.reshape(-1)
+            timings["blocking"] = time.perf_counter() - start
+        start = time.perf_counter()
+        self._phi_next[lo:hi] = phi[lo:hi]
+        plan = state.block(lo, hi).gamma_plan
+        if plan is not None:
+            apply_gamma_batch(
+                self._phi_next.reshape(-1),
+                plan,
+                t_flat,
+                delta_flat,
+                blocked_flat,
+                eta,
+                cfg.traffic_tol,
+            )
+        timings["gamma"] = time.perf_counter() - start
+        return timings
+
     # -- the two iteration halves ----------------------------------------------------
     def build_context(
         self,
@@ -271,10 +368,18 @@ class ThreadBackend(ExecutionBackend):
         ext = self._ext
         cfg = self._config
         with inst.phase("flow_solve"):
-            results = self._dispatch("flow_solve", self._forecast_shard, routing.phi)
-            # deterministic fixed-order reduce: same call, same (J, E) bits,
-            # same association as the serial resource_usage -- thread
-            # completion order cannot influence a single output bit
+            if self._mode == "array":
+                # seed external inputs once; shards overwrite their rows'
+                # interior nodes via the forward CSR sweep
+                np.copyto(self._traffic, external_inputs(ext))
+                forecast = self._forecast_shard_array
+            else:
+                forecast = self._forecast_shard
+            results = self._dispatch("flow_solve", forecast, routing.phi)
+            # deterministic fixed-order reduce: same call, same bits, same
+            # association as the serial resource_usage (array mode reduces
+            # per-shard partials in ascending-commodity shard order) --
+            # thread completion order cannot influence a single output bit
             edge_usage = np.add.reduce(self._usage, axis=0)
             node_usage = np.zeros(ext.num_nodes, dtype=float)
             np.add.at(node_usage, ext.edge_tail, edge_usage)
@@ -317,8 +422,9 @@ class ThreadBackend(ExecutionBackend):
             # the scratch traffic/dadf describe some other routing state;
             # refresh them for this one
             self.build_context(routing, instrumentation=instrumentation)
+        step_fn = self._step_shard_array if self._mode == "array" else self._step_shard
         with inst.phase("thread_step"):
-            results = self._dispatch("step", self._step_shard, routing, eta)
+            results = self._dispatch("step", step_fn, routing, eta)
             new_phi = self._phi_next.copy()
         self._observe_worker_timings(inst, results)
         return RoutingState(new_phi)

@@ -46,7 +46,12 @@ from repro.core.blocking import compute_blocked_sets
 from repro.core.delta import ScalarPatch, apply_scalar_patch
 from repro.core.gradient import apply_gamma_batch
 from repro.core.marginals import edge_marginals, marginal_cost_to_destination
-from repro.core.routing import RoutingState, solve_traffic_commodity
+from repro.core.routing import (
+    RoutingState,
+    external_inputs_rows,
+    solve_traffic_commodity,
+)
+from repro.core.state import ModelState
 from repro.core.transform import ExtendedNetwork
 from repro.parallel.shm import ArraySpec, attach_arrays
 
@@ -58,6 +63,12 @@ _ARRAYS: Dict[str, np.ndarray] = {}
 _BLOCKS: List[Any] = []
 _FAULT: Optional[str] = None
 _BARRIER: Optional[Any] = None
+# array-core mode: the master resolves REPRO_MODEL_CORE once at pool start
+# and ships the decision here, so master and workers can never disagree
+_ARRAY_CORE: bool = False
+# private per-worker scratch for the array-core step/batch bodies, keyed by
+# shape so structural refreshes reallocate lazily
+_SCRATCH: Dict[str, np.ndarray] = {}
 
 # A refresh task must reach *every* worker exactly once; workers that
 # finished theirs block on the barrier until the stragglers arrive.  The
@@ -82,16 +93,22 @@ def init_worker(
     specs: ArraySpec,
     fault: Optional[str],
     barrier: Optional[Any] = None,
+    array_core: bool = False,
 ) -> None:
     """Pool initializer: receive the graph once, attach the shared arrays."""
-    global _EXT, _ARRAYS, _BLOCKS, _FAULT, _BARRIER
+    global _EXT, _ARRAYS, _BLOCKS, _FAULT, _BARRIER, _ARRAY_CORE
     _EXT = ext
     _ARRAYS, _BLOCKS = attach_arrays(specs)
     _FAULT = fault
     _BARRIER = barrier
-    # touch the lazy per-commodity plans once so iteration-time tasks never
-    # pay (or re-time) the plan construction
-    _ = ext.flow_plans, ext.gamma_plans
+    _ARRAY_CORE = array_core
+    if array_core:
+        # build the shared ModelState eagerly so iteration-time tasks never
+        # pay (or re-time) its construction
+        ModelState.of(ext)
+    else:
+        # touch the lazy per-commodity plans once, for the same reason
+        _ = ext.flow_plans, ext.gamma_plans
     atexit.register(_close_shared_memory)
 
 
@@ -127,13 +144,32 @@ def _refresh_worker(payload: Tuple[str, Any, Optional[ArraySpec], int]) -> None:
         _BARRIER.wait(timeout=_REFRESH_BARRIER_TIMEOUT)
 
 
-def _forecast_shard(lo: int, hi: int) -> Dict[str, float]:
+def _scratch(name: str, shape: Tuple[int, ...], dtype=float) -> np.ndarray:
+    """Private per-worker scratch array, reallocated when shapes change."""
+    array = _SCRATCH.get(name)
+    if array is None or array.shape != shape:
+        array = _SCRATCH[name] = np.zeros(shape, dtype=dtype)
+    return array
+
+
+def _forecast_shard(lo: int, hi: int, shard: int) -> Dict[str, float]:
     assert _EXT is not None, "worker used before init_worker ran"
     ext = _EXT
     phi = _ARRAYS["phi"]
     traffic = _ARRAYS["traffic"]
     usage = _ARRAYS["usage"]
     start = time.perf_counter()
+    if _ARRAY_CORE:
+        state = ModelState.of(ext)
+        traffic[lo:hi] = external_inputs_rows(ext, lo, hi)
+        state.solve_traffic_block(traffic.reshape(-1), phi.reshape(-1), lo, hi)
+        # per-shard (E,) usage partial in shm row `shard`; the master sums
+        # partials in shard order, which reproduces the serial CSR row-sum
+        # association exactly
+        usage[shard] = state.usage_partial_block(
+            phi.reshape(-1), traffic.reshape(-1), lo, hi
+        )
+        return {"flow_solve": time.perf_counter() - start}
     for j in range(lo, hi):
         row = solve_traffic_commodity(ext, j, phi[j])
         traffic[j] = row
@@ -142,10 +178,73 @@ def _forecast_shard(lo: int, hi: int) -> Dict[str, float]:
     return {"flow_solve": time.perf_counter() - start}
 
 
+def _step_shard_array(
+    lo: int, hi: int, eta: float, use_blocking: bool, traffic_tol: float
+) -> Dict[str, float]:
+    """Array-core step body: row-block CSR kernels over the shared state.
+
+    ``dadr``/``delta``/``blocked`` live in private per-worker scratch (only
+    this shard's rows are ever written or read), while ``phi``/``phi_next``/
+    ``traffic`` stay in shared memory exactly as in the object path.
+    """
+    ext = _EXT
+    state = ModelState.of(ext)
+    phi = _ARRAYS["phi"]
+    phi_next = _ARRAYS["phi_next"]
+    phi_flat = phi.reshape(-1)
+    t_flat = _ARRAYS["traffic"].reshape(-1)
+    dadf = _ARRAYS["dadf"]
+    shape_jv = (ext.num_commodities, ext.num_nodes)
+    shape_je = (ext.num_commodities, ext.num_edges)
+    dadr = _scratch("dadr", shape_jv)
+    delta = _scratch("delta", shape_je)
+    timings = {"marginals": 0.0, "blocking": 0.0, "gamma": 0.0}
+    start = time.perf_counter()
+    dadr[lo:hi] = 0.0
+    state.marginal_costs_block(dadr.reshape(-1), phi_flat, dadf, lo, hi)
+    delta[lo:hi] = 0.0
+    state.edge_marginals_block(delta.reshape(-1), dadf, dadr.reshape(-1), lo, hi)
+    timings["marginals"] = time.perf_counter() - start
+    blocked_flat: Optional[np.ndarray] = None
+    if use_blocking:
+        start = time.perf_counter()
+        blocked = _scratch("blocked", shape_je, dtype=bool)
+        blocked[lo:hi] = False
+        if state.blocked_sets_block(
+            blocked.reshape(-1),
+            phi_flat,
+            t_flat,
+            dadr.reshape(-1),
+            delta.reshape(-1),
+            eta,
+            lo,
+            hi,
+        ):
+            blocked_flat = blocked.reshape(-1)
+        timings["blocking"] = time.perf_counter() - start
+    start = time.perf_counter()
+    phi_next[lo:hi] = phi[lo:hi]
+    plan = state.block(lo, hi).gamma_plan
+    if plan is not None:
+        apply_gamma_batch(
+            phi_next.reshape(-1),
+            plan,
+            t_flat,
+            delta.reshape(-1),
+            blocked_flat,
+            eta,
+            traffic_tol,
+        )
+    timings["gamma"] = time.perf_counter() - start
+    return timings
+
+
 def _step_shard(
     lo: int, hi: int, eta: float, use_blocking: bool, traffic_tol: float
 ) -> Dict[str, float]:
     assert _EXT is not None, "worker used before init_worker ran"
+    if _ARRAY_CORE:
+        return _step_shard_array(lo, hi, eta, use_blocking, traffic_tol)
     ext = _EXT
     phi = _ARRAYS["phi"]
     phi_next = _ARRAYS["phi_next"]
@@ -179,6 +278,68 @@ def _step_shard(
         phi_next[j] = row
         timings["gamma"] += time.perf_counter() - start
     return timings
+
+
+def _batch_shard_array(
+    lo: int,
+    hi: int,
+    shard: int,
+    iterations: int,
+    eta: float,
+    use_blocking: bool,
+    traffic_tol: float,
+) -> Dict[str, float]:
+    """Array-core batch body: private row-block iterations, frozen ``dadf``.
+
+    Mirrors the object-core batch exactly: ``Gamma`` applies in place on the
+    shard's shm ``phi`` rows (the kernel reads and writes the same buffer,
+    just like the serial engine's updated-copy), the shard's traffic rows
+    are re-solved after every application, and the usage partial is
+    published once over the batch-final rows.
+    """
+    ext = _EXT
+    state = ModelState.of(ext)
+    phi = _ARRAYS["phi"]
+    phi_flat = phi.reshape(-1)
+    traffic = _ARRAYS["traffic"]
+    t_flat = traffic.reshape(-1)
+    dadf = _ARRAYS["dadf"]
+    shape_jv = (ext.num_commodities, ext.num_nodes)
+    shape_je = (ext.num_commodities, ext.num_edges)
+    dadr = _scratch("dadr", shape_jv)
+    delta = _scratch("delta", shape_je)
+    plan = state.block(lo, hi).gamma_plan
+    start = time.perf_counter()
+    for _ in range(iterations):
+        dadr[lo:hi] = 0.0
+        state.marginal_costs_block(dadr.reshape(-1), phi_flat, dadf, lo, hi)
+        delta[lo:hi] = 0.0
+        state.edge_marginals_block(delta.reshape(-1), dadf, dadr.reshape(-1), lo, hi)
+        blocked_flat: Optional[np.ndarray] = None
+        if use_blocking:
+            blocked = _scratch("blocked", shape_je, dtype=bool)
+            blocked[lo:hi] = False
+            if state.blocked_sets_block(
+                blocked.reshape(-1),
+                phi_flat,
+                t_flat,
+                dadr.reshape(-1),
+                delta.reshape(-1),
+                eta,
+                lo,
+                hi,
+            ):
+                blocked_flat = blocked.reshape(-1)
+        if plan is not None:
+            apply_gamma_batch(
+                phi_flat, plan, t_flat, delta.reshape(-1), blocked_flat, eta,
+                traffic_tol,
+            )
+        traffic[lo:hi] = external_inputs_rows(ext, lo, hi)
+        state.solve_traffic_block(t_flat, phi_flat, lo, hi)
+    _ARRAYS["usage"][shard] = state.usage_partial_block(phi_flat, t_flat, lo, hi)
+    _ARRAYS["phi_next"][lo:hi] = phi[lo:hi]
+    return {"batch": time.perf_counter() - start}
 
 
 def _batch_shard(
@@ -242,12 +403,17 @@ def run_shard(phase: str, lo: int, hi: int, *args: Any) -> Tuple[int, Dict[str, 
             f"injected worker fault during {phase!r} (test hook)"
         )
     if phase == "forecast":
-        return lo, _forecast_shard(lo, hi)
+        (shard,) = args
+        return lo, _forecast_shard(lo, hi, shard)
     if phase == "step":
         eta, use_blocking, traffic_tol = args
         return lo, _step_shard(lo, hi, eta, use_blocking, traffic_tol)
     if phase == "batch":
-        iterations, eta, use_blocking, traffic_tol = args
+        shard, iterations, eta, use_blocking, traffic_tol = args
+        if _ARRAY_CORE:
+            return lo, _batch_shard_array(
+                lo, hi, shard, iterations, eta, use_blocking, traffic_tol
+            )
         return lo, _batch_shard(lo, hi, iterations, eta, use_blocking, traffic_tol)
     if phase == "refresh":
         start = time.perf_counter()

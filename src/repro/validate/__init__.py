@@ -43,6 +43,7 @@ from repro.validate.oracle import (
     RebuildOracleReport,
     RebuildStepReport,
     calibrated_gradient_config,
+    compare_cores,
 )
 
 __all__ = [
@@ -64,4 +65,5 @@ __all__ = [
     "RebuildOracleReport",
     "RebuildStepReport",
     "calibrated_gradient_config",
+    "compare_cores",
 ]

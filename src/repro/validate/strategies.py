@@ -26,14 +26,17 @@ from repro.workloads.random_network import RandomNetworkSpec
 
 __all__ = [
     "NETWORK_FACTORIES",
+    "SPARSE_SIZE_TIERS",
     "named_extended_network",
     "random_routing",
     "small_random_spec",
+    "sparse_large_spec",
     "random_extended_network",
     "oracle_seed_matrix",
     "seeds",
     "network_names",
     "event_sequences",
+    "sparse_instances",
 ]
 
 # the named paper instances randomized tests draw from
@@ -109,6 +112,32 @@ def random_extended_network(
     )
 
 
+# (num_nodes, num_commodities) rungs for the sparse large-J family.  At
+# fixed density the allowed-cell count grows ~linearly in J while the dense
+# cross product grows ~quadratically -- exactly the regime the
+# commodity-major array core exists for.  Weighted toward the small tiers:
+# hypothesis draws many examples per run, and the 400-node tier alone costs
+# more than the rest of a profile's budget.
+SPARSE_SIZE_TIERS = [(24, 4), (60, 8), (120, 16), (250, 32), (400, 64)]
+
+
+def sparse_large_spec(num_nodes: int, num_commodities: int) -> RandomNetworkSpec:
+    """A sparse many-commodity instance spec at roughly constant density.
+
+    Wide shallow layers keep per-commodity subgraphs small relative to the
+    extended edge set, so ``J*(E+V)`` dense work-cells dwarf the allowed
+    cells -- the scale regime of `bench_scale_ladder.py`'s rungs.
+    """
+    width = max(3, num_nodes // 8)
+    return RandomNetworkSpec(
+        num_nodes=num_nodes,
+        num_commodities=num_commodities,
+        depth_range=(4, 6),
+        layer_width_range=(width, width + 2),
+        extra_edge_probability=0.15,
+    )
+
+
 def oracle_seed_matrix(env: Optional[str] = None) -> List[int]:
     """The CI seed matrix: ``FUZZ_SEEDS`` (comma/space separated) or 0-4.
 
@@ -164,5 +193,31 @@ def event_sequences(min_events: int = 1, max_events: int = 8):
             network, ChurnSpec(num_events=num_events), seed=trace_seed
         )
         return network, events
+
+    return _draw()
+
+
+def sparse_instances(max_tier: Optional[int] = None):
+    """Strategy over sparse large-J stream networks (plus the draw's seed).
+
+    Yields ``(network, seed, tier)`` tuples from :data:`SPARSE_SIZE_TIERS`,
+    heavily weighted toward the small tiers so the default profiles stay
+    fast; the 250/400-node tiers only appear under ``HYPOTHESIS_PROFILE=dev``
+    (the tests cap ``max_tier`` otherwise).  Deterministic in the drawn
+    seed, so every failure shrinks to a replayable ``(tier, seed)`` pair.
+    """
+    from hypothesis import strategies as st
+
+    tiers = SPARSE_SIZE_TIERS[: max_tier if max_tier is not None else None]
+
+    @st.composite
+    def _draw(draw):
+        # index 0 is ~8x as likely as the last tier
+        weights = [2 ** (len(tiers) - 1 - i) for i in range(len(tiers))]
+        flat = [i for i, w in enumerate(weights) for _ in range(w)]
+        tier = tiers[draw(st.sampled_from(flat))]
+        seed = draw(st.integers(0, 10**4))
+        spec = sparse_large_spec(*tier)
+        return random_stream_network(spec, seed=seed), seed, tier
 
     return _draw()
