@@ -8,6 +8,7 @@ Commands
 ``profile``    solve with instrumentation on and print phase timings
 ``validate``   solve + audit against the paper's invariant catalog
 ``figure4``    run a quick Figure-4 reproduction
+``serve``      run the admission-control daemon (``repro.serve/1`` over TCP)
 
 Examples
 --------
@@ -25,6 +26,8 @@ Examples
     python -m repro validate model.json --method optimal --strict
     python -m repro validate --self-test                  # fault injection
     python -m repro figure4 --seed 7
+    python -m repro serve model.json --port 7471 --workers 4
+    python -m repro serve --nodes 120 --commodities 12 --batch-window 0.02
 
 ``solve --json`` emits one JSON document (the ``repro.result/1`` schema,
 plus an embedded ``repro.metrics/1`` registry section when instrumentation
@@ -296,6 +299,71 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import AdmissionServer, ServeConfig
+
+    if args.model is not None:
+        network = load_network(args.model)
+    else:
+        spec = RandomNetworkSpec(
+            num_nodes=args.nodes, num_commodities=args.commodities
+        )
+        network = random_stream_network(spec, seed=args.seed)
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        refine_iterations=args.refine,
+        warmup_iterations=args.warmup,
+        validate_epochs=not args.no_validate,
+        min_admit_rate=args.min_admit_rate,
+    )
+    options = SolveOptions(
+        method="gradient",
+        config=GradientConfig(eta=args.step_size),
+        workers=args.workers,
+        backend=args.backend,
+        staleness=args.staleness,
+    )
+    inst = Instrumentation() if args.metrics_out else None
+
+    async def run() -> None:
+        server = AdmissionServer(
+            network, config=config, options=options, instrumentation=inst
+        )
+        port = await server.start()
+        # the readiness line scripts and the CI smoke job key off: one line,
+        # stdout, flushed before any request is served
+        print(
+            f"repro.serve/1 listening on {config.host}:{port} "
+            f"(batch-window {1e3 * config.batch_window:g} ms, "
+            f"max-batch {config.max_batch}, "
+            f"validate={'on' if config.validate_epochs else 'off'})",
+            flush=True,
+        )
+        try:
+            await server.wait_closed()
+        except asyncio.CancelledError:
+            await server.drain()
+            raise
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    if inst is not None:
+        inst.export_metrics(
+            args.metrics_out, model=args.model or "generated", method="serve"
+        )
+        print(f"wrote metrics to {args.metrics_out}")
+    return 0
+
+
 def _add_solver_options(
     parser: argparse.ArgumentParser, positional_model: bool = True
 ) -> None:
@@ -433,6 +501,60 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--max-iterations", type=int, default=3000)
     fig.add_argument("--bp-iterations", type=int, default=60000)
     fig.set_defaults(func=_cmd_figure4)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the admission-control daemon (repro.serve/1 over TCP)",
+    )
+    srv.add_argument(
+        "model", nargs="?", default=None,
+        help="model file (omit to generate one from --nodes/--commodities/--seed)",
+    )
+    srv.add_argument("--nodes", type=int, default=40)
+    srv.add_argument("--commodities", type=int, default=4)
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default 0: pick an ephemeral port, printed on the "
+        "readiness line)",
+    )
+    srv.add_argument(
+        "--batch-window", type=float, default=0.020, metavar="SECONDS",
+        help="how long requests coalesce into one batch (default 20 ms)",
+    )
+    srv.add_argument("--max-batch", type=int, default=64)
+    srv.add_argument(
+        "--queue-limit", type=int, default=1024,
+        help="pending event requests before overloaded (429) backpressure",
+    )
+    srv.add_argument(
+        "--refine", type=int, default=8, metavar="ITERATIONS",
+        help="gradient refinement steps per published epoch",
+    )
+    srv.add_argument(
+        "--warmup", type=int, default=200, metavar="ITERATIONS",
+        help="initial convergence before the daemon starts serving",
+    )
+    srv.add_argument(
+        "--no-validate", action="store_true",
+        help="skip the per-epoch invariant audit before publishing",
+    )
+    srv.add_argument(
+        "--min-admit-rate", type=float, default=0.0, metavar="RATE",
+        help="revert arrivals whose admitted rate stays below RATE",
+    )
+    srv.add_argument("--step-size", type=float, default=0.04)
+    srv.add_argument("--workers", type=_workers_arg, default=None, metavar="N|auto")
+    srv.add_argument(
+        "--backend", choices=["serial", "thread", "process", "auto"], default=None
+    )
+    srv.add_argument("--staleness", type=int, default=None, metavar="K")
+    srv.add_argument(
+        "--metrics-out", default=None,
+        help="write the repro.metrics/1 document here on shutdown",
+    )
+    srv.set_defaults(func=_cmd_serve)
 
     return parser
 

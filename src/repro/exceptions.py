@@ -50,3 +50,16 @@ class SimulationError(StreamFlowError):
 
 class ProtocolError(SimulationError):
     """A node agent received a message that violates the protocol contract."""
+
+
+class ServeError(StreamFlowError):
+    """The admission-control daemon (``repro.serve``) failed."""
+
+
+class ServeRequestError(ServeError):
+    """A ``repro.serve/1`` request is malformed (the client's fault)."""
+
+
+class ServeUnavailableError(ServeError):
+    """The background optimizer is down; event requests get 503-style
+    responses until the daemon is restarted."""

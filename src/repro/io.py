@@ -38,6 +38,8 @@ RESULT_SCHEMA = "repro.result/1"
 __all__ = [
     "utility_to_spec",
     "utility_from_spec",
+    "commodity_to_dict",
+    "commodity_from_dict",
     "network_to_dict",
     "network_from_dict",
     "save_network",
@@ -93,6 +95,44 @@ def utility_from_spec(spec: Dict[str, Any]) -> UtilityFunction:
     return factories[kind](**params)
 
 
+def commodity_to_dict(commodity: Commodity) -> Dict[str, Any]:
+    """Serialise one :class:`Commodity` to a JSON-safe dict.
+
+    The same spec format used inside :func:`network_to_dict`; also the wire
+    format of ``repro.serve/1`` admission requests (see docs/serving.md).
+    """
+    return {
+        "name": commodity.name,
+        "source": commodity.source,
+        "sink": commodity.sink,
+        "max_rate": commodity.max_rate,
+        "utility": utility_to_spec(commodity.utility),
+        "edges": [list(e) for e in commodity.edges],
+        "potentials": dict(commodity.potentials),
+        "costs": [
+            {"tail": t, "head": h, "cost": cost}
+            for (t, h), cost in commodity.costs.items()
+        ],
+    }
+
+
+def commodity_from_dict(spec: Dict[str, Any]) -> Commodity:
+    """Inverse of :func:`commodity_to_dict` (validates via ``Commodity``)."""
+    return Commodity(
+        name=spec["name"],
+        source=spec["source"],
+        sink=spec["sink"],
+        max_rate=spec["max_rate"],
+        edges=[tuple(e) for e in spec["edges"]],
+        potentials=spec["potentials"],
+        costs={
+            (entry["tail"], entry["head"]): entry["cost"]
+            for entry in spec["costs"]
+        },
+        utility=utility_from_spec(spec["utility"]),
+    )
+
+
 def network_to_dict(network: StreamNetwork) -> Dict[str, Any]:
     """Serialise a :class:`StreamNetwork` to a JSON-safe dict."""
     physical = network.physical
@@ -114,22 +154,7 @@ def network_to_dict(network: StreamNetwork) -> Dict[str, Any]:
             {"tail": link.tail, "head": link.head, "bandwidth": link.bandwidth}
             for link in physical.links.values()
         ],
-        "commodities": [
-            {
-                "name": c.name,
-                "source": c.source,
-                "sink": c.sink,
-                "max_rate": c.max_rate,
-                "utility": utility_to_spec(c.utility),
-                "edges": [list(e) for e in c.edges],
-                "potentials": dict(c.potentials),
-                "costs": [
-                    {"tail": t, "head": h, "cost": cost}
-                    for (t, h), cost in c.costs.items()
-                ],
-            }
-            for c in network.commodities
-        ],
+        "commodities": [commodity_to_dict(c) for c in network.commodities],
     }
 
 
@@ -157,20 +182,7 @@ def network_from_dict(data: Dict[str, Any]) -> StreamNetwork:
 
     network = StreamNetwork(physical=physical)
     for spec in data.get("commodities", []):
-        commodity = Commodity(
-            name=spec["name"],
-            source=spec["source"],
-            sink=spec["sink"],
-            max_rate=spec["max_rate"],
-            edges=[tuple(e) for e in spec["edges"]],
-            potentials=spec["potentials"],
-            costs={
-                (entry["tail"], entry["head"]): entry["cost"]
-                for entry in spec["costs"]
-            },
-            utility=utility_from_spec(spec["utility"]),
-        )
-        network.add_commodity(commodity)
+        network.add_commodity(commodity_from_dict(spec))
     network.validate()
     return network
 

@@ -193,6 +193,28 @@ class OnlineOrchestrator:
         # closed at the end of run()
         self._backend = backend
         self._workers = workers
+        self._epoch = 0
+
+    def current_epoch(self) -> int:
+        """The model epoch after the most recently applied event.
+
+        ``0`` before :meth:`run` starts and on the legacy full-rebuild path
+        (``incremental=False``), which rebuilds from scratch and restarts
+        the version counter.  This is the supported accessor -- the serve
+        daemon and tests key off it; the bare ``epoch`` attribute is a
+        deprecated alias.
+        """
+        return self._epoch
+
+    @property
+    def epoch(self) -> int:
+        """Deprecated alias of :meth:`current_epoch`."""
+        warnings.warn(
+            "OnlineOrchestrator.epoch is deprecated; use current_epoch()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._epoch
 
     def run(self, total_iterations: int, instrumentation=None) -> OnlineResult:
         """Run the timeline; ``instrumentation`` logs network events,
@@ -203,6 +225,7 @@ class OnlineOrchestrator:
         from repro.parallel.backend import resolve_backend
 
         ext = build_extended_network(self.initial_network)
+        self._epoch = int(ext.epoch)
         backend = resolve_backend(
             self._backend, self._workers, ext=ext, instrumentation=inst
         )
@@ -275,6 +298,7 @@ class OnlineOrchestrator:
                         with inst.phase("rebuild.delta.apply", event=event_name):
                             applied = apply_delta(ext, delta)
                         ext = applied.ext
+                        self._epoch = int(ext.epoch)
                         network = ext.stream_network
                         dropped = list(delta.dropped_commodities)
                         if self.warm_start:
@@ -301,6 +325,7 @@ class OnlineOrchestrator:
                             network, require_connected=False
                         )
                         dropped = rebuilt.dropped_commodities
+                        self._epoch = int(ext.epoch)
                         if self.warm_start:
                             routing = remap_routing(old_ext, routing, ext)
                             if self.shed_on_event:

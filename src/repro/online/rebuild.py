@@ -46,7 +46,13 @@ from repro.online.events import (
 
 Edge = Tuple[str, str]
 
-__all__ = ["RebuildResult", "apply_event", "remap_routing", "emergency_shed"]
+__all__ = [
+    "RebuildResult",
+    "apply_event",
+    "apply_scalar_overrides",
+    "remap_routing",
+    "emergency_shed",
+]
 
 
 class RebuildResult:
@@ -120,6 +126,57 @@ def _rebuild_commodity(
         )
     except ValidationError:
         return None
+
+
+def apply_scalar_overrides(
+    network: StreamNetwork,
+    rates: Optional[Dict[str, float]] = None,
+    capacities: Optional[Dict[str, float]] = None,
+) -> StreamNetwork:
+    """The post-run network for a merged run of scalar events, in one pass.
+
+    Equivalent to chaining the corresponding :class:`DemandChange` /
+    :class:`CapacityChange` events through :func:`apply_event` with
+    last-write-wins values -- scalar events cannot change topology, so only
+    the final value per target matters -- but pays one physical copy and
+    one rebuild per *touched commodity* instead of one full surgery per
+    event.  The serve daemon's batch coalescing
+    (:func:`repro.serve.batching.merge_scalar_run`) rides this.
+
+    Raises :class:`~repro.exceptions.ModelError` on unknown names, sink
+    capacity changes, or a commodity made unservable by its final rate --
+    the same failures the chained path reports.
+    """
+    rates = rates or {}
+    capacities = capacities or {}
+    for name in rates:
+        network.commodity(name)  # raises on unknown name
+    for node in capacities:
+        if node not in network.physical.nodes:
+            raise ModelError(f"unknown node {node!r}")
+        if network.physical.node(node).is_sink:
+            raise ModelError("sinks have no capacity to change")
+    physical = (
+        _copy_physical(network.physical, capacity_overrides=dict(capacities))
+        if capacities
+        else network.physical
+    )
+    commodities: List[Commodity] = []
+    for commodity in network.commodities:
+        if commodity.name not in rates:
+            # commodities never reference node capacities: share the object
+            commodities.append(commodity)
+            continue
+        fresh = _rebuild_commodity(
+            commodity, physical, new_rate=rates[commodity.name]
+        )
+        if fresh is None:
+            raise ModelError(
+                f"commodity {commodity.name!r} became unservable under a "
+                "pure demand change; the topology should be unchanged"
+            )
+        commodities.append(fresh)
+    return StreamNetwork(physical=physical, commodities=commodities)
 
 
 def apply_event(network: StreamNetwork, event: NetworkEvent) -> RebuildResult:
@@ -254,9 +311,14 @@ def emergency_shed(
     """Scale admissions down until no node exceeds ``utilization_target``.
 
     Each commodity's dummy splits ``(phi_in, phi_diff)``; we scale every
-    ``phi_in`` by a common factor ``s`` (surplus goes to the difference
-    link) and bisect on the largest feasible ``s`` in ``[0, 1]``.  Interior
-    routing fractions are untouched, so the relative path split survives.
+    ``phi_in`` by a common factor ``s`` in ``[0, 1]`` (surplus goes to the
+    difference link).  Interior routing fractions are untouched, so the
+    relative path split survives -- and with the fractions fixed, every
+    node's load is *linear* in ``s``, so the largest feasible scale is
+    simply ``utilization_target / peak``: one feasibility report, no
+    search.  ``bisection_steps`` bounds the fallback search kept for the
+    (numerically pathological) case where the closed-form scale still
+    verifies infeasible.
     """
     if not 0.0 < utilization_target <= 1.0:
         raise ModelError("utilization_target must be in (0, 1]")
@@ -275,9 +337,14 @@ def emergency_shed(
     def peak_utilization(candidate: RoutingState) -> float:
         return feasibility_report(ext, candidate).max_utilization
 
-    if peak_utilization(base) <= utilization_target:
+    peak = peak_utilization(base)
+    if peak <= utilization_target:
         return base
-    lo, hi = 0.0, 1.0
+    hi = min(1.0, utilization_target / peak)
+    candidate = with_admission_scale(hi)
+    if peak_utilization(candidate) <= utilization_target:
+        return candidate
+    lo = 0.0
     for __ in range(bisection_steps):
         mid = 0.5 * (lo + hi)
         if peak_utilization(with_admission_scale(mid)) <= utilization_target:

@@ -1,0 +1,209 @@
+"""Batch-window coalescing: many requests, few epochs.
+
+The daemon's throughput story is that an event does **not** cost an epoch.
+Requests arriving within one batch window (default 20 ms) are drained
+together, and every maximal run of *scalar* events (``demand`` /
+``capacity`` -- the paper's Section V adaptation case, and the bulk of any
+realistic churn mix) is merged into **one** :class:`~repro.core.delta.
+ProblemDelta` whose :class:`~repro.core.delta.ScalarPatch` carries the
+last-write-wins union of the run.  ``ScalarPatch`` entries are absolute
+values, so the merge is exact: applying the merged patch leaves the model
+bit-identical to applying the run one event at a time, while bumping the
+epoch once instead of N times (pinned in ``tests/test_serve.py``).
+
+Structural events (admit/depart/failures) change the layout and therefore
+keep one delta each -- their splice cost is the floor the delta core
+already pays (see docs/online.md).
+
+:class:`BatchQueue` is the asyncio side: a bounded queue whose
+:meth:`~BatchQueue.collect` waits for the first pending event, then keeps
+draining until the window closes or the batch size cap is hit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+from repro.core.delta import ProblemDelta, ScalarPatch, compile_event
+from repro.exceptions import ServeError
+from repro.online.events import CapacityChange, DemandChange, NetworkEvent
+
+__all__ = ["PendingEvent", "BatchQueue", "plan_batch", "merge_scalar_run"]
+
+_SCALAR_EVENTS = (DemandChange, CapacityChange)
+
+
+def _is_scalar(event: NetworkEvent) -> bool:
+    return isinstance(event, _SCALAR_EVENTS)
+
+
+def plan_batch(events: Sequence[NetworkEvent]) -> List[List[NetworkEvent]]:
+    """Group a batch into apply units: maximal scalar runs, lone structurals.
+
+    Order is preserved -- a scalar run never merges *across* a structural
+    event, because the structural splice changes the index space the
+    scalar patch compiles against.
+    """
+    units: List[List[NetworkEvent]] = []
+    run: List[NetworkEvent] = []
+    for event in events:
+        if _is_scalar(event):
+            run.append(event)
+            continue
+        if run:
+            units.append(run)
+            run = []
+        units.append([event])
+    if run:
+        units.append(run)
+    return units
+
+
+def merge_scalar_run(ext: Any, events: Sequence[NetworkEvent]) -> ProblemDelta:
+    """One :class:`ProblemDelta` for a run of scalar events against ``ext``.
+
+    Validates every event against the evolving stream network (unknown
+    commodity/node names raise :class:`~repro.exceptions.ModelError`, the
+    same behaviour as compiling them one at a time) and merges the patch
+    entries last-write-wins.  A single-event run compiles through the
+    standard :func:`~repro.core.delta.compile_event` path.
+    """
+    if not events:
+        raise ServeError("merge_scalar_run needs at least one event")
+    if len(events) == 1:
+        return compile_event(ext, events[0])
+    # local import: repro.online.rebuild imports the delta module at load time
+    from repro.online.rebuild import apply_scalar_overrides
+
+    rates_by_name = {}
+    caps_by_name = {}
+    for event in events:
+        if not _is_scalar(event):
+            raise ServeError(
+                f"merge_scalar_run got a structural {type(event).__name__}"
+            )
+        if isinstance(event, DemandChange):
+            rates_by_name[event.commodity] = event.new_rate
+        else:
+            caps_by_name[event.node] = event.new_capacity
+    # scalar events cannot change topology, so only the final value per
+    # target matters: one physical copy + one rebuild per touched commodity
+    # replaces a full apply_event surgery per event (validation -- unknown
+    # names, unservable rates -- matches the chained path)
+    network = apply_scalar_overrides(
+        ext.stream_network, rates=rates_by_name, capacities=caps_by_name
+    )
+    patch = ScalarPatch(
+        node_capacity=tuple(
+            sorted(
+                (ext.node_index(node), cap)
+                for node, cap in caps_by_name.items()
+            )
+        ),
+        commodity_rate=tuple(
+            sorted(
+                (ext.commodity_view(name).index, rate)
+                for name, rate in rates_by_name.items()
+            )
+        ),
+    )
+    return ProblemDelta(
+        base_epoch=ext.epoch,
+        event=tuple(events),
+        network=network,
+        dropped_commodities=(),
+        dirty_commodities=(),
+        scalar=patch,
+    )
+
+
+@dataclass
+class PendingEvent:
+    """One enqueued event request awaiting its batch's published epoch."""
+
+    request: Any  # protocol.Request
+    event: NetworkEvent
+    future: "asyncio.Future[Any]"
+    enqueued_at: float = 0.0
+    connection: Any = None  # the owning connection (for per-request metrics)
+
+
+@dataclass
+class BatchQueue:
+    """Bounded request queue with window-based batch collection.
+
+    ``limit`` bounds the number of *pending* (enqueued but unanswered)
+    event requests; :meth:`try_put` refuses beyond it, which the server
+    turns into 429-style ``overloaded`` responses -- backpressure the
+    client sees instead of unbounded buffering it doesn't.
+    """
+
+    limit: int = 1024
+    _queue: "asyncio.Queue[PendingEvent]" = field(
+        default_factory=asyncio.Queue
+    )
+    _pending: int = 0
+
+    @property
+    def pending(self) -> int:
+        """Enqueued-but-unanswered event requests (backpressure gauge)."""
+        return self._pending
+
+    def try_put(self, item: PendingEvent) -> bool:
+        """Enqueue unless the pending bound is hit; never blocks."""
+        if self._pending >= self.limit:
+            return False
+        self._pending += 1
+        self._queue.put_nowait(item)
+        return True
+
+    def task_done(self, count: int = 1) -> None:
+        """The server answered ``count`` previously enqueued requests."""
+        self._pending = max(0, self._pending - count)
+
+    async def collect(
+        self, window: float, max_batch: int
+    ) -> List[PendingEvent]:
+        """One batch: wait for the first item, drain until window/cap.
+
+        Returns at least one item; the window clock starts when the first
+        item arrives (not when the call does), so an idle server wakes
+        exactly once per burst.
+        """
+        first = await self._queue.get()
+        batch = [first]
+        try:
+            if window <= 0.0:
+                # degenerate window: take whatever is already queued, no wait
+                while len(batch) < max_batch and not self._queue.empty():
+                    batch.append(self._queue.get_nowait())
+                return batch
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + window
+            while len(batch) < max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0.0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), timeout=remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                batch.append(item)
+        except asyncio.CancelledError:
+            # a concurrent collector may be cancelled mid-window (fault or
+            # drain); hand its items back so nothing silently hangs
+            for item in batch:
+                self._queue.put_nowait(item)
+            raise
+        return batch
+
+    def drain_nowait(self) -> List[PendingEvent]:
+        """Everything currently queued, without waiting (shutdown path)."""
+        items: List[PendingEvent] = []
+        while not self._queue.empty():
+            items.append(self._queue.get_nowait())
+        return items

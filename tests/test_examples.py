@@ -25,6 +25,7 @@ EXAMPLES = {
     "sensor_fusion.py": "Admitted rates",
     "failure_recovery.py": "final utility",
     "figure4_reproduction.py": "optimal total throughput",
+    "serve_demo.py": "Admission decision audit trail",
 }
 
 
