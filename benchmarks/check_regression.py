@@ -45,6 +45,7 @@ GATED_DOCUMENTS = [
     "BENCH_CHURN.json",
     "BENCH_SCALE.json",
     "BENCH_SERVE.json",
+    "BENCH_ASYNC.json",
 ]
 
 # substrings marking wall-clock metrics: reported, never gated

@@ -204,6 +204,7 @@ def solve(
     workers: Optional[Union[int, str]] = None,
     backend=None,
     staleness: Optional[int] = None,
+    execution: Optional[str] = None,
     validate: Union[bool, str, None] = None,
     options: Optional[SolveOptions] = None,
     **legacy,
@@ -273,6 +274,20 @@ def solve(
         ``staleness=K`` is a documented relaxed mode (drift bound in
         docs/parallelism.md).  Batching engages between trajectory
         records, so it needs ``config.record_every > 1`` to take effect.
+        Under ``method="distributed", execution="async"`` the same number
+        is the bounded-staleness freshness rule of the barrier-free
+        engine: a node may iterate on neighbour values up to ``staleness``
+        epochs older than its own counter (default
+        :data:`repro.simulation.async_engine.DEFAULT_STALENESS`).
+    execution:
+        Execution model for ``method="distributed"``: ``"sync"`` (and the
+        default ``None``) runs the phase-barrier protocol; ``"async"``
+        runs the barrier-free event-driven engine
+        (:class:`repro.simulation.AsyncGradientRun`) in which agents react
+        to individual message deliveries under the bounded-staleness rule.
+        Fault injection (delay/loss/duplication) is available on the
+        direct :class:`~repro.simulation.AsyncGradientRun` API; ``solve``
+        always uses a perfect network.  See docs/async.md.
     validate:
         Audit the result against the paper's invariant catalog
         (:mod:`repro.validate`).  ``True`` attaches a
@@ -297,6 +312,7 @@ def solve(
             ("workers", workers),
             ("backend", backend),
             ("staleness", staleness),
+            ("execution", execution),
             ("validate", validate),
         )
         if value is not None
@@ -319,13 +335,13 @@ def solve(
         stream_network, opts.method, opts.config, opts.instrumentation,
         opts.full_result, legacy,
         workers=opts.workers, backend=opts.backend, staleness=opts.staleness,
-        validate=opts.validate,
+        execution=opts.execution, validate=opts.validate,
     )
 
 
 def _solve_impl(
     stream_network, method, config, instrumentation, full_result, legacy,
-    workers=None, backend=None, staleness=None, validate=False,
+    workers=None, backend=None, staleness=None, execution=None, validate=False,
 ):
     if method not in SOLVE_METHODS:
         raise ValueError(
@@ -341,10 +357,22 @@ def _solve_impl(
             f"workers=/backend=/staleness= apply only to the "
             f"gradient/distributed methods, not {method!r}"
         )
-    if staleness and method != "gradient":
+    if execution is not None:
+        if execution not in ("sync", "async"):
+            raise ValueError(
+                f"unknown execution {execution!r}; expected 'sync' or 'async'"
+            )
+        if method != "distributed":
+            raise TypeError(
+                f"execution= applies only to method='distributed', "
+                f"not {method!r}"
+            )
+    asynchronous = execution == "async"
+    if staleness and method != "gradient" and not asynchronous:
         raise TypeError(
-            "staleness= (batched dispatch) applies only to method='gradient'; "
-            "the distributed runner is synchronous round by round"
+            "staleness= (batched dispatch) applies only to method='gradient' "
+            "or to method='distributed' with execution='async'; the "
+            "synchronous distributed runner proceeds round by round"
         )
 
     if method == "optimal":
@@ -366,8 +394,15 @@ def _solve_impl(
 
         from repro.parallel import resolve_backend
 
+        # under execution="async", staleness parameterizes the freshness
+        # rule of the event-driven engine, not the backend's batched
+        # dispatch -- the snapshot-evaluation backend stays synchronous
         resolved = resolve_backend(
-            backend, workers, ext=ext, staleness=staleness, instrumentation=inst
+            backend,
+            workers,
+            ext=ext,
+            staleness=None if asynchronous else staleness,
+            instrumentation=inst,
         )
         # a caller-supplied backend instance is borrowed (the caller closes
         # it); anything resolve_backend built here is owned, and the with
@@ -379,7 +414,22 @@ def _solve_impl(
                 result = GradientAlgorithm(ext, cfg, backend=resolved).run(
                     instrumentation=instrumentation
                 )
-            else:  # distributed
+            elif asynchronous:
+                from repro.simulation.async_engine import (
+                    DEFAULT_STALENESS,
+                    AsyncGradientRun,
+                )
+
+                result = AsyncGradientRun(
+                    ext,
+                    cfg,
+                    staleness=(
+                        staleness if staleness is not None else DEFAULT_STALENESS
+                    ),
+                    instrumentation=instrumentation,
+                    backend=resolved,
+                ).run(cfg.max_iterations, record_every=cfg.record_every)
+            else:  # distributed, synchronous phase barriers
                 from repro.simulation.runner import DistributedGradientRun
 
                 result = DistributedGradientRun(

@@ -151,6 +151,7 @@ def _instrumented_solve(args: argparse.Namespace, instrumentation, validate=Fals
         workers=args.workers,
         backend=args.backend,
         staleness=args.staleness,
+        execution=args.execution,
         validate=validate,
     )
     return solve(network, options=options)
@@ -410,6 +411,15 @@ def _add_solver_options(
         help="process-backend batched dispatch: up to K+1 iterations per "
         "worker round-trip with the global derivative held stale "
         "(0 = synchronous bit-identical mode; needs --record-every > 1)",
+    )
+    parser.add_argument(
+        "--execution",
+        choices=["sync", "async"],
+        default=None,
+        help="distributed execution model: 'sync' phase barriers (default) "
+        "or the barrier-free 'async' event-driven engine, where "
+        "--staleness bounds how stale a node's neighbour view may be "
+        "(method=distributed only; see docs/async.md)",
     )
     parser.add_argument(
         "--record-every",

@@ -194,6 +194,7 @@ class OnlineOrchestrator:
         self._backend = backend
         self._workers = workers
         self._epoch = 0
+        self._epoch_deprecation_warned = False
 
     def current_epoch(self) -> int:
         """The model epoch after the most recently applied event.
@@ -208,12 +209,15 @@ class OnlineOrchestrator:
 
     @property
     def epoch(self) -> int:
-        """Deprecated alias of :meth:`current_epoch`."""
-        warnings.warn(
-            "OnlineOrchestrator.epoch is deprecated; use current_epoch()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+        """Deprecated alias of :meth:`current_epoch` (warns once per
+        instance, so a polling loop does not flood the log)."""
+        if not self._epoch_deprecation_warned:
+            self._epoch_deprecation_warned = True
+            warnings.warn(
+                "OnlineOrchestrator.epoch is deprecated; use current_epoch()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         return self._epoch
 
     def run(self, total_iterations: int, instrumentation=None) -> OnlineResult:

@@ -44,7 +44,13 @@ class SolveOptions:
         or a borrowed :class:`~repro.parallel.ExecutionBackend` instance.
     staleness:
         Bounded-staleness batch depth for the process backend (``None`` /
-        ``0`` keeps the synchronous bit-identical schedule).
+        ``0`` keeps the synchronous bit-identical schedule).  Under
+        ``execution="async"`` the same number bounds how many epochs a
+        node's neighbour view may lag before it must wait.
+    execution:
+        Execution model for ``method="distributed"``: ``None``/``"sync"``
+        for the phase-barrier runner, ``"async"`` for the barrier-free
+        event-driven engine (:class:`repro.simulation.AsyncGradientRun`).
     validate:
         ``False`` / ``True`` / ``"strict"`` -- the invariant-catalog audit.
     instrumentation:
@@ -58,6 +64,7 @@ class SolveOptions:
     workers: Union[int, str, None] = None
     backend: Any = None
     staleness: Optional[int] = None
+    execution: Optional[str] = None
     validate: Union[bool, str] = False
     instrumentation: Any = None
     full_result: bool = False

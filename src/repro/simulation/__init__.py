@@ -1,31 +1,63 @@
 """Message-passing distributed-simulation substrate.
 
 Runs the paper's algorithm as an actual protocol between per-node agents
-over a deterministic event engine, with message/round accounting.
+over a deterministic event engine, with message/round accounting.  Two
+execution models share the agent wiring: the synchronous phase-barrier
+runner (:class:`DistributedGradientRun`) and the barrier-free asynchronous
+engine (:class:`AsyncGradientRun`) that tolerates message delay, loss,
+duplication, and reordering via a seeded :class:`FaultyChannel`.
 """
 
 from repro.simulation.agent import CommodityPort, NodeAgent
+from repro.simulation.async_engine import (
+    AsyncEventEngine,
+    AsyncGradientRun,
+    AsyncNodeAgent,
+    AsyncPort,
+    AsyncRunResult,
+    FaultSpec,
+    FaultyChannel,
+)
 from repro.simulation.engine import EventEngine
 from repro.simulation.messages import (
+    ASYNC_STAMP_BYTES,
     ForecastMessage,
     MarginalCostMessage,
     Message,
     RoutingSignalMessage,
+    TickMessage,
 )
-from repro.simulation.metrics import IterationMetrics, MessageMetrics, PhaseMetrics
+from repro.simulation.metrics import (
+    AsyncRunMetrics,
+    ChannelMetrics,
+    IterationMetrics,
+    MessageMetrics,
+    PhaseMetrics,
+)
 from repro.simulation.runner import DistributedGradientRun, DistributedRunResult
 
 __all__ = [
     "CommodityPort",
     "NodeAgent",
     "EventEngine",
+    "ASYNC_STAMP_BYTES",
     "ForecastMessage",
     "MarginalCostMessage",
     "Message",
     "RoutingSignalMessage",
+    "TickMessage",
     "IterationMetrics",
     "MessageMetrics",
     "PhaseMetrics",
+    "AsyncRunMetrics",
+    "ChannelMetrics",
     "DistributedGradientRun",
     "DistributedRunResult",
+    "AsyncEventEngine",
+    "AsyncGradientRun",
+    "AsyncNodeAgent",
+    "AsyncPort",
+    "AsyncRunResult",
+    "FaultSpec",
+    "FaultyChannel",
 ]

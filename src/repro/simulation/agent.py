@@ -98,6 +98,10 @@ class CommodityPort:
 class NodeAgent:
     """One extended-graph node participating in the distributed algorithm."""
 
+    # the port record this agent wires per commodity; the async agent swaps
+    # in a stamp-carrying subclass without repeating the wiring below
+    PORT_CLS = CommodityPort
+
     def __init__(
         self,
         ext: ExtendedNetwork,
@@ -124,7 +128,7 @@ class NodeAgent:
             j = view.index
             if node not in view.node_indices:
                 continue
-            port = CommodityPort(
+            port = self.PORT_CLS(
                 commodity=j,
                 is_sink=(node == view.sink),
                 is_dummy=(node == view.dummy),

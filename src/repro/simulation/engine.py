@@ -70,15 +70,34 @@ class EventEngine:
             delay = self.hop_latency
         if delay < 0:
             raise SimulationError("delay must be >= 0")
-        heapq.heappush(
-            self._queue, (self.now + delay, next(self._sequence), target, message)
-        )
+        self._deliver_later(target, message, delay)
         self.metrics.on_send(message)
         if self.on_send is not None:
             self.on_send(message)
 
+    def _deliver_later(self, target: int, message: Message, delay: int) -> None:
+        """Enqueue one delivery (no accounting -- the raw scheduling primitive).
+
+        Subclasses route :meth:`send` through fault-injection layers and
+        push each surviving copy here; local timers (ticks) also schedule
+        through this path so they never count as network traffic.
+        """
+        heapq.heappush(
+            self._queue, (self.now + delay, next(self._sequence), target, message)
+        )
+
     def run_until_idle(self) -> int:
         """Deliver all queued (and consequent) messages; return elapsed ticks."""
+        return self.run_until(None)
+
+    def run_until(self, stop: Optional[Callable[[], bool]]) -> int:
+        """Deliver messages until the queue drains or ``stop()`` turns true.
+
+        ``stop`` is checked after each delivery, so the caller can pause the
+        simulation at a condition of its own (e.g. "every agent reached
+        epoch *m*"), inspect global state, and resume -- the asynchronous
+        runner snapshots its trajectory this way.  Returns elapsed ticks.
+        """
         start = self.now
         events = 0
         while self._queue:
@@ -91,6 +110,8 @@ class EventEngine:
             time, __, target, message = heapq.heappop(self._queue)
             self.now = time
             self._agents[target].on_message(message, self)
+            if stop is not None and stop():
+                break
         return self.now - start
 
     @property

@@ -13,6 +13,30 @@ each maps to a message type here:
   nodes under phi1 so that each node k gets a list of upstream nodes");
 * the **forecast protocol**: each node forwards the commodity flow it will
   emit on each out-edge next iteration -- :class:`ForecastMessage`.
+
+Asynchronous stamps
+-------------------
+Every message additionally carries two stamps the barrier-free engine
+(:mod:`repro.simulation.async_engine`) keys on:
+
+``seq``
+    A per-sender monotone sequence number.  Receivers keep the highest
+    sequence seen per ``(sender, commodity, type)`` and discard anything
+    older, which makes duplicated and reordered deliveries harmless
+    (last-writer-wins on the freshest value).
+``epoch``
+    The sender's *local* iteration count when the carried value was
+    computed.  The bounded-staleness rule compares these stamps against a
+    node's own epoch to decide whether its neighbourhood view is fresh
+    enough to advance ``phi``.
+
+``retransmit`` marks a stall-triggered resend (the async recovery path);
+a receiver answers one by re-publishing its own current state on the
+reverse link, which is what restores progress after message loss.
+
+The synchronous engine ignores all three fields (they default to zero /
+``False``), so its wire accounting is unchanged; the async engine adds
+:data:`ASYNC_STAMP_BYTES` per message on top of ``size_bytes``.
 """
 
 from __future__ import annotations
@@ -20,11 +44,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = [
+    "ASYNC_STAMP_BYTES",
     "Message",
     "MarginalCostMessage",
     "RoutingSignalMessage",
     "ForecastMessage",
+    "TickMessage",
 ]
+
+# wire overhead of the async stamps: seq (8) + epoch (8) + retransmit bit (1)
+ASYNC_STAMP_BYTES = 17
 
 
 @dataclass(frozen=True)
@@ -33,6 +62,9 @@ class Message:
 
     sender: int
     commodity: int
+    seq: int = 0  # per-sender monotone sequence number (async engine)
+    epoch: int = 0  # sender's local epoch when the value was computed
+    retransmit: bool = False  # stall-triggered resend (async recovery)
 
     @property
     def size_bytes(self) -> int:
@@ -44,8 +76,8 @@ class Message:
 class MarginalCostMessage(Message):
     """Upstream broadcast of ``dA/dr_sender(j)`` plus the blocking tag."""
 
-    value: float
-    tagged: bool
+    value: float = 0.0
+    tagged: bool = False
 
     @property
     def size_bytes(self) -> int:
@@ -56,7 +88,7 @@ class MarginalCostMessage(Message):
 class RoutingSignalMessage(Message):
     """Downstream notice: is edge (sender -> receiver) active under phi1?"""
 
-    active: bool
+    active: bool = False
 
     @property
     def size_bytes(self) -> int:
@@ -68,11 +100,29 @@ class ForecastMessage(Message):
     """Downstream forecast: commodity flow arriving over one edge.
 
     ``flow`` is already gain-scaled, i.e. measured in *receiver* units
-    (``t_tail * phi * beta``), matching eq. (3)'s incoming term.
+    (``t_tail * phi * beta``), matching eq. (3)'s incoming term.  The
+    async engine sends one per allowed out-edge *including* inactive
+    edges (``flow == 0``), folding the routing signal's active bit into
+    the forecast itself -- a receiver's last-known inflow then decays
+    correctly when an upstream deactivates an edge.
     """
 
-    flow: float
+    flow: float = 0.0
 
     @property
     def size_bytes(self) -> int:
         return 32
+
+
+@dataclass(frozen=True)
+class TickMessage(Message):
+    """A node's local timer (async engine only; never crosses the wire).
+
+    Ticks are self-addressed, scheduled directly on the event queue --
+    they bypass the faulty channel and the message accounting, modelling
+    a local clock rather than network traffic.
+    """
+
+    @property
+    def size_bytes(self) -> int:
+        return 0

@@ -11,7 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-__all__ = ["MessageMetrics", "PhaseMetrics", "IterationMetrics"]
+__all__ = [
+    "MessageMetrics",
+    "PhaseMetrics",
+    "IterationMetrics",
+    "ChannelMetrics",
+    "AsyncRunMetrics",
+]
 
 
 class MessageMetrics:
@@ -51,6 +57,78 @@ class PhaseMetrics:
             "messages": self.messages,
             "bytes": self.bytes,
             "rounds": self.rounds,
+        }
+
+
+@dataclass
+class ChannelMetrics:
+    """Fault accounting of one :class:`~repro.simulation.async_engine.FaultyChannel`.
+
+    ``attempts`` counts protocol sends offered to the channel; a dropped
+    message was never delivered, a duplicated one was delivered twice, and
+    ``delayed`` counts deliveries whose latency exceeded the base hop
+    (reordering is a *consequence* of unequal delays, so it has no counter
+    of its own).  ``faults`` is the total number of injected fault events
+    (drops + duplications + delay spikes) -- what the chaos soak sizes its
+    "200-event fault trace" by.
+    """
+
+    attempts: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+
+    @property
+    def faults(self) -> int:
+        return self.dropped + self.duplicated + self.delayed
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "attempts": self.attempts,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "delayed": self.delayed,
+            "faults": self.faults,
+        }
+
+
+@dataclass
+class AsyncRunMetrics:
+    """Whole-run accounting of one barrier-free asynchronous execution.
+
+    ``messages``/``bytes`` count protocol traffic (stamps included, ticks
+    excluded); ``rounds`` is the total elapsed simulated ticks.  ``epochs``
+    is the per-node local-iteration target every agent reached;
+    ``max_skew`` is the largest observed gap between the fastest and
+    slowest node's local epoch -- a synchronous barrier would pin it to
+    at most 1, so ``max_skew > 1`` is positive evidence the run was
+    barrier-free.  ``retransmits`` counts stall-triggered resends (the
+    loss-recovery path) and ``ticks`` local timer firings.
+    """
+
+    epochs: int = 0
+    messages: int = 0
+    bytes: int = 0
+    rounds: int = 0
+    max_skew: int = 0
+    retransmits: int = 0
+    ticks: int = 0
+    messages_per_node_epoch: float = 0.0
+    channel: ChannelMetrics = field(default_factory=ChannelMetrics)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "epochs": self.epochs,
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "rounds": self.rounds,
+            "max_skew": self.max_skew,
+            "retransmits": self.retransmits,
+            "ticks": self.ticks,
+            "messages_per_node_epoch": self.messages_per_node_epoch,
+            "channel": self.channel.as_dict(),
         }
 
 

@@ -105,6 +105,9 @@ class AlgorithmSpec:
     backend: Any = None
     label: Optional[str] = None
     staleness: Optional[int] = None
+    # execution model for method="distributed": None/"sync" phase barriers,
+    # "async" the barrier-free event-driven engine
+    execution: Optional[str] = None
     # pin the model core for this side ("array" / "object"); None inherits
     # the ambient REPRO_MODEL_CORE setting
     model_core: Optional[str] = None
@@ -120,6 +123,8 @@ class AlgorithmSpec:
             parts.append(f"workers={self.workers}")
         if self.staleness:
             parts.append(f"staleness={self.staleness}")
+        if self.execution is not None:
+            parts.append(f"execution={self.execution}")
         if self.model_core is not None:
             parts.append(f"core={self.model_core}")
         return self.method + (f"[{', '.join(parts)}]" if parts else "")
@@ -307,6 +312,7 @@ class DifferentialOracle:
                         workers=spec.workers,
                         backend=spec.backend,
                         staleness=spec.staleness,
+                        execution=spec.execution,
                         full_result=True,
                         validate=validate,
                     )
@@ -433,6 +439,98 @@ class DifferentialOracle:
             spec_object,
             validate=validate,
             require_bit_identical=True,
+        )
+
+    def compare_async(
+        self,
+        stream_network,
+        epochs: int = 60,
+        config: Any = None,
+        staleness: Optional[int] = None,
+        faults: Any = None,
+        links: Any = None,
+        seed: int = 0,
+        fault_until_tick: Optional[int] = None,
+        utility_rtol: Optional[float] = None,
+    ) -> OracleReport:
+        """Barrier-free async run vs the synchronous reference, drift-gated.
+
+        The reference is the vectorized synchronous engine
+        (:class:`~repro.core.gradient.GradientAlgorithm`, bit-identical to
+        the phase-barrier distributed runner) driven for exactly ``epochs``
+        iterations; the async side is a direct
+        :class:`~repro.simulation.AsyncGradientRun` so the comparison can
+        inject faults (``faults``/``links``/``seed``/``fault_until_tick``
+        are forwarded to its :class:`~repro.simulation.FaultyChannel`).
+        The enforced bound defaults to :data:`STALENESS_DRIFT_RTOL` -- the
+        same contract the process backend's bounded-staleness mode
+        carries, which is exactly the relaxation the async freshness rule
+        re-implements at per-message granularity.
+        """
+        from dataclasses import replace as dc_replace
+
+        from repro.core.gradient import GradientAlgorithm
+        from repro.core.transform import build_extended_network
+        from repro.simulation.async_engine import (
+            DEFAULT_STALENESS,
+            AsyncGradientRun,
+        )
+
+        cfg = config or calibrated_gradient_config(max_iterations=epochs)
+        # both sides must execute the identical update map the same number
+        # of times: pin the iteration budget, disable early convergence
+        # stopping, and (adaptive stepping being a *global* controller a
+        # barrier-free node cannot implement) freeze the step scale
+        cfg = dc_replace(
+            cfg, max_iterations=epochs, tolerance=0.0, adaptive_eta=False
+        )
+        k = staleness if staleness is not None else DEFAULT_STALENESS
+        rtol = utility_rtol if utility_rtol is not None else STALENESS_DRIFT_RTOL
+
+        ext = build_extended_network(stream_network)
+        reference = GradientAlgorithm(ext, cfg).run()
+        async_run = AsyncGradientRun(
+            ext,
+            cfg,
+            staleness=k,
+            faults=faults,
+            links=links,
+            seed=seed,
+            fault_until_tick=fault_until_tick,
+        )
+        result = async_run.run(epochs, record_every=max(1, cfg.record_every))
+
+        sol_a, sol_b = reference.solution, result.solution
+        utility_a = float(sol_a.utility)
+        utility_b = float(sol_b.utility)
+        rel = abs(utility_a - utility_b) / max(1.0, abs(utility_a), abs(utility_b))
+        admitted_diff = float(
+            np.abs(np.asarray(sol_a.admitted) - np.asarray(sol_b.admitted)).max()
+        )
+        flows_a = solution_flows(ext, sol_a)
+        flows_b = solution_flows(ext, sol_b)
+        flow_diff: Optional[float] = None
+        if flows_a is not None and flows_b is not None:
+            flow_diff = float(np.abs(flows_a - flows_b).max())
+
+        faulted = faults is not None or bool(links)
+        label_b = f"distributed[execution=async, staleness={k}" + (
+            f", faults seed={seed}]" if faulted else "]"
+        )
+        return OracleReport(
+            label_a="gradient[sync-reference]",
+            label_b=label_b,
+            utility_a=utility_a,
+            utility_b=utility_b,
+            utility_rel_diff=rel,
+            admitted_max_diff=admitted_diff,
+            flow_max_diff=flow_diff,
+            trajectories_equal=None,  # mixed-epoch snapshots aren't comparable
+            bit_identical=None,
+            utility_rtol=rtol,
+            admitted_atol=self.admitted_atol,
+            require_bit_identical=False,
+            extras={"async_metrics": result.metrics.as_dict()},
         )
 
     def compare_rebuild(

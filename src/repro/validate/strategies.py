@@ -37,6 +37,7 @@ __all__ = [
     "network_names",
     "event_sequences",
     "sparse_instances",
+    "delivery_schedules",
 ]
 
 # the named paper instances randomized tests draw from
@@ -193,6 +194,50 @@ def event_sequences(min_events: int = 1, max_events: int = 8):
             network, ChurnSpec(num_events=num_events), seed=trace_seed
         )
         return network, events
+
+    return _draw()
+
+
+def delivery_schedules(max_drop: float = 0.15):
+    """Strategy over fault schedules for the barrier-free async engine.
+
+    Draws a :class:`~repro.simulation.async_engine.FaultSpec` (delay
+    window, drop probability, duplication, delay spikes), the channel seed
+    that makes the schedule replayable, and the staleness bound -- the
+    whole parameter space of "any delivery schedule with eventual
+    delivery".  ``drop`` stays strictly below 1 (here ``max_drop``), which
+    *is* the eventual-delivery precondition: the property test asserts
+    that under every drawn schedule the async run still converges within
+    the :data:`~repro.validate.oracle.STALENESS_DRIFT_RTOL` drift bound of
+    the synchronous reference.  Shrinking walks toward the perfect channel
+    (no drop, no duplication, unit delay), so a failing schedule minimizes
+    to the gentlest fault mix that still breaks the bound.
+    """
+    from hypothesis import strategies as st
+
+    from repro.simulation.async_engine import FaultSpec
+
+    @st.composite
+    def _draw(draw):
+        delay_min = draw(st.integers(1, 3))
+        delay_max = draw(st.integers(delay_min, delay_min + 4))
+        spec = FaultSpec(
+            drop=draw(
+                st.floats(0.0, max_drop, allow_nan=False, allow_infinity=False)
+            ),
+            duplicate=draw(
+                st.floats(0.0, 0.2, allow_nan=False, allow_infinity=False)
+            ),
+            delay_min=delay_min,
+            delay_max=delay_max,
+            spike_prob=draw(
+                st.floats(0.0, 0.1, allow_nan=False, allow_infinity=False)
+            ),
+            spike_delay=draw(st.integers(0, 12)),
+        )
+        seed = draw(st.integers(0, 10**6))
+        staleness = draw(st.integers(1, 4))
+        return spec, seed, staleness
 
     return _draw()
 

@@ -1,0 +1,216 @@
+"""Direct unit tests for the node agent (repro.simulation.agent).
+
+test_simulation.py pins the agent's protocol behaviour end to end
+(bit-identity with the synchronous engine); these tests pin the
+node-local pieces in isolation: port wiring and resets, routing
+import/export, the eq. (11) link-cost derivative branches, and the
+``PORT_CLS`` extension hook the async agent builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import pytest
+
+from repro.core import GradientConfig
+from repro.exceptions import ProtocolError
+from repro.simulation import DistributedGradientRun, NodeAgent
+from repro.simulation.agent import CommodityPort
+from repro.simulation.messages import Message, RoutingSignalMessage
+from repro.validate.strategies import named_extended_network, random_routing
+
+
+def _run(name="figure1", **cfg):
+    ext = named_extended_network(name)
+    config = GradientConfig(max_iterations=5, tolerance=0.0, **cfg)
+    return DistributedGradientRun(ext, config)
+
+
+def _agent_with(run, predicate):
+    for agent in run.agents:
+        if predicate(agent):
+            return agent
+    raise AssertionError("no agent matches the predicate")
+
+
+class TestPortWiring:
+    def test_ports_only_for_carried_commodities(self):
+        run = _run()
+        ext = run.ext
+        for agent in run.agents:
+            for j, port in agent.ports.items():
+                assert agent.node in ext.commodities[j].node_indices
+                assert port.commodity == j
+                for e, head in zip(port.out_edges, port.out_heads):
+                    assert int(ext.edge_head[e]) == head
+
+    def test_dummy_port_carries_rate_and_difference_edge(self):
+        run = _run()
+        ext = run.ext
+        for view in ext.commodities:
+            agent = run.agents[view.dummy]
+            port = agent.ports[view.index]
+            assert port.is_dummy
+            assert port.max_rate == view.max_rate
+            assert port.difference_edge == view.difference_edge
+
+    def test_reset_marginal_phase_clears_scratch(self):
+        port = CommodityPort(commodity=0, is_sink=False, is_dummy=False,
+                             max_rate=0.0)
+        port.received_dadr[3] = 1.0
+        port.received_tag[3] = True
+        port.delta[7] = 0.5
+        port.dadr, port.tag = 2.0, True
+        port.reset_marginal_phase()
+        assert not port.received_dadr and not port.received_tag
+        assert not port.delta
+        assert port.dadr == 0.0 and port.tag is False
+
+    def test_reset_forecast_phase_clears_counters(self):
+        port = CommodityPort(commodity=0, is_sink=False, is_dummy=False,
+                             max_rate=0.0)
+        port.signals_received = 2
+        port.active_upstreams = 1
+        port.forecasts_received = 1
+        port.inflow = 3.5
+        port.forecast_done = True
+        port.reset_forecast_phase()
+        assert port.signals_received == 0
+        assert port.active_upstreams == 0
+        assert port.forecasts_received == 0
+        assert port.inflow == 0.0
+        assert port.forecast_done is False
+
+
+class TestRoutingImportExport:
+    def test_round_trip_preserves_out_edge_rows(self):
+        run = _run()
+        ext = run.ext
+        routing = random_routing(ext, seed=4)
+        run.load_routing(routing)
+        exported = run.export_routing()
+        np.testing.assert_allclose(exported.phi, routing.phi)
+
+    def test_load_only_touches_own_out_edges(self):
+        run = _run()
+        ext = run.ext
+        routing = random_routing(ext, seed=4)
+        agent = run.agents[0]
+        agent.load_routing(routing.phi)
+        for j, row in agent.phi.items():
+            own = set(agent.ports[j].out_edges)
+            for e in range(ext.num_edges):
+                expected = routing.phi[j, e] if e in own else 0.0
+                assert row[e] == expected
+
+
+class TestLinkCostDerivative:
+    def test_difference_edge_uses_the_utility_derivative(self):
+        run = _run()
+        ext = run.ext
+        view = ext.commodities[0]
+        agent = run.agents[view.dummy]
+        port = agent.ports[0]
+        edge = port.difference_edge
+        agent.phi[0][edge] = 0.25
+        port.traffic = view.max_rate
+        shed = 0.25 * port.traffic
+        expected = view.utility.derivative(max(view.max_rate - shed, 0.0))
+        assert agent._link_cost_derivative(port, edge) == pytest.approx(expected)
+
+    def test_infinite_capacity_means_free_transport(self):
+        # the dummy source is uncapacitated: its *non*-difference out-edge
+        # (the edge into the real source) costs nothing at the margin
+        run = _run()
+        view = run.ext.commodities[0]
+        agent = run.agents[view.dummy]
+        assert not np.isfinite(agent.capacity)
+        port = agent.ports[0]
+        edge = next(e for e in port.out_edges if e != port.difference_edge)
+        assert agent._link_cost_derivative(port, edge) == 0.0
+
+    def test_finite_capacity_uses_the_penalty_derivative(self):
+        run = _run()
+        agent = _agent_with(
+            run, lambda a: np.isfinite(a.capacity) and any(
+                not p.is_sink and p.difference_edge is None and p.out_edges
+                for p in a.ports.values()
+            )
+        )
+        port = next(
+            p for p in agent.ports.values()
+            if not p.is_sink and p.difference_edge is None and p.out_edges
+        )
+        agent.usage = 0.5 * agent.capacity
+        model = run.config.cost_model
+        expected = model.eps * model.penalty.derivative(
+            agent.usage, agent.capacity
+        )
+        assert agent._link_cost_derivative(
+            port, port.out_edges[0]
+        ) == pytest.approx(expected)
+
+
+class TestProtocolGuards:
+    def test_non_sink_port_without_out_edges_rejected(self):
+        run = _run()
+        agent = _agent_with(
+            run,
+            lambda a: any(not p.is_sink and p.out_edges
+                          for p in a.ports.values()),
+        )
+        port = next(
+            p for p in agent.ports.values() if not p.is_sink and p.out_edges
+        )
+        port.out_edges = []
+        port.out_heads = []
+        with pytest.raises(ProtocolError, match="no out-edges"):
+            agent.begin_marginal_phase(run.engine)
+
+    def test_routing_signal_from_non_upstream_rejected(self):
+        run = _run()
+        agent = _agent_with(
+            run, lambda a: any(p.in_tails for p in a.ports.values())
+        )
+        j = next(j for j, p in agent.ports.items() if p.in_tails)
+        stranger = max(agent.ports[j].in_tails) + 1000
+        with pytest.raises(ProtocolError, match="non-upstream"):
+            agent.on_message(
+                RoutingSignalMessage(sender=stranger, commodity=j, active=True),
+                run.engine,
+            )
+
+    def test_unknown_message_type_rejected(self):
+        @dataclass(frozen=True)
+        class GossipMessage(Message):
+            rumor: str = ""
+
+        run = _run()
+        agent = run.agents[0]
+        j = next(iter(agent.ports))
+        with pytest.raises(ProtocolError, match="unknown message type"):
+            agent.on_message(
+                GossipMessage(sender=0, commodity=j, rumor="?"), run.engine
+            )
+
+
+class TestPortClassHook:
+    def test_subclass_port_type_is_used_for_every_port(self):
+        @dataclass
+        class StampedPort(CommodityPort):
+            stamps: dict = field(default_factory=dict)
+
+        class StampedAgent(NodeAgent):
+            PORT_CLS = StampedPort
+
+        ext = named_extended_network("figure1")
+        cfg = GradientConfig()
+        agent = StampedAgent(
+            ext, 0, cost_model=cfg.cost_model, eta=cfg.eta,
+            traffic_tol=cfg.traffic_tol,
+        )
+        assert agent.ports  # node 0 carries at least one commodity
+        assert all(isinstance(p, StampedPort) for p in agent.ports.values())
+        assert all(p.stamps == {} for p in agent.ports.values())

@@ -1,0 +1,489 @@
+"""Tests for the barrier-free async engine and its chaos-test harness.
+
+Layout mirrors the module: fault layer (FaultSpec / FaultyChannel), the
+event engine, the agent's message handling, convergence against the
+synchronous reference, the chaos soak (ISSUE 9's headline scenario), the
+deadlock diagnosis, and the solve()/oracle/CLI integration surface.
+
+The convergence configurations are calibrated, not arbitrary: with a
+fixed step and the stiff safeguarded barrier, a *saturated* instance
+limit-cycles under delayed feedback once utilization first grazes the
+wall (see docs/async.md, "Stability under lag"), so the drift gates run
+in the pre-saturation tracking regime where the paper's protocol is
+well-posed under bounded staleness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core import GradientConfig
+from repro.core.gradient import GradientAlgorithm
+from repro.exceptions import ProtocolError, SimulationError, SolverError
+from repro.cli import main
+from repro.io import save_network
+from repro.obs import Instrumentation
+from repro.simulation import (
+    ASYNC_STAMP_BYTES,
+    AsyncEventEngine,
+    AsyncGradientRun,
+    AsyncRunResult,
+    FaultSpec,
+    FaultyChannel,
+    MarginalCostMessage,
+    TickMessage,
+)
+from repro.simulation.async_engine import PERFECT_LINK
+from repro.validate import DifferentialOracle
+from repro.validate.oracle import STALENESS_DRIFT_RTOL, AlgorithmSpec
+from repro.validate.strategies import (
+    delivery_schedules,
+    named_extended_network,
+    random_extended_network,
+    random_routing,
+)
+from repro.workloads import figure1_network
+
+# the chaos trace of the soak: jittered delays, 5% loss, 5% duplication,
+# occasional 10-tick delay spikes -- every fault class at once
+CHAOS = FaultSpec(
+    drop=0.05, duplicate=0.05, delay_min=1, delay_max=4,
+    spike_prob=0.05, spike_delay=10,
+)
+
+
+def _config(epochs: int, eta: float = 0.04) -> GradientConfig:
+    # fixed step, no tolerance stop: async agents cannot implement the
+    # adaptive controller (it is global), so the reference must not either
+    return GradientConfig(
+        eta=eta, max_iterations=epochs, tolerance=0.0, adaptive_eta=False
+    )
+
+
+def _drift(result, reference) -> float:
+    ref = reference.solution.utility
+    return abs(result.solution.utility - ref) / max(abs(ref), 1e-12)
+
+
+def _phi_digest(run: AsyncGradientRun) -> str:
+    return hashlib.sha256(run.export_routing().phi.tobytes()).hexdigest()
+
+
+# ------------------------------------------------------------------ fault layer
+
+
+class TestFaultSpec:
+    def test_defaults_are_the_perfect_link(self):
+        assert FaultSpec() == PERFECT_LINK
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"drop": 1.0},  # certain loss breaks eventual delivery
+            {"drop": -0.1},
+            {"duplicate": 1.5},
+            {"delay_min": 0},  # zero latency would beat the local clock
+            {"delay_min": 3, "delay_max": 2},
+            {"spike_prob": 2.0},
+            {"spike_delay": -1},
+        ],
+    )
+    def test_rejects_invalid_parameters(self, kwargs):
+        with pytest.raises(SimulationError):
+            FaultSpec(**kwargs)
+
+
+class TestFaultyChannel:
+    def test_same_seed_replays_the_same_trace(self):
+        spec = FaultSpec(drop=0.3, duplicate=0.3, delay_min=1, delay_max=6,
+                         spike_prob=0.2, spike_delay=9)
+        plans_a = [FaultyChannel(spec, seed=7).plan(0, 1, t) for t in range(200)]
+        plans_b = [FaultyChannel(spec, seed=7).plan(0, 1, t) for t in range(200)]
+        assert plans_a == plans_b
+
+    def test_different_seeds_diverge(self):
+        spec = FaultSpec(drop=0.5, delay_min=1, delay_max=8)
+        a = FaultyChannel(spec, seed=1)
+        b = FaultyChannel(spec, seed=2)
+        assert [a.plan(0, 1, t) for t in range(100)] != [
+            b.plan(0, 1, t) for t in range(100)
+        ]
+
+    def test_faults_actually_occur(self):
+        spec = FaultSpec(drop=0.4, duplicate=0.4, delay_min=2, delay_max=5)
+        channel = FaultyChannel(spec, seed=0)
+        plans = [channel.plan(0, 1, t) for t in range(300)]
+        assert any(p == [] for p in plans)  # drops
+        assert any(len(p) == 2 for p in plans)  # duplicates
+        m = channel.metrics
+        assert m.attempts == 300
+        assert m.dropped > 0 and m.duplicated > 0 and m.delayed > 0
+        assert m.faults == m.dropped + m.duplicated + m.delayed
+        assert m.delivered + m.dropped >= m.attempts
+
+    def test_until_tick_turns_the_channel_perfect(self):
+        channel = FaultyChannel(FaultSpec(drop=0.9, delay_min=4, delay_max=9),
+                                seed=3, until_tick=50)
+        assert all(
+            channel.plan(0, 1, now) == [1] for now in range(50, 120)
+        )
+
+    def test_per_link_override(self):
+        lossy = FaultSpec(drop=0.5)
+        channel = FaultyChannel(links={(2, 3): lossy}, seed=0)
+        assert channel.spec_for(2, 3) is lossy
+        assert channel.spec_for(3, 2) is PERFECT_LINK
+        # default-spec links take the perfect fast path: always one copy,
+        # unit delay, nothing counted as a fault
+        assert channel.plan(3, 2, 0) == [1]
+        assert channel.metrics.faults == 0
+
+
+# ------------------------------------------------------------------ event engine
+
+
+class TestAsyncEventEngine:
+    def test_send_to_unknown_target_raises(self):
+        engine = AsyncEventEngine(channel=FaultyChannel(seed=0))
+        with pytest.raises(SimulationError, match="no agent"):
+            engine.send(99, TickMessage(sender=0, commodity=-1))
+
+    def test_schedule_local_bypasses_channel_and_accounting(self):
+        ext = named_extended_network("diamond")
+        run = AsyncGradientRun(
+            ext, _config(10), faults=FaultSpec(drop=0.99), seed=0
+        )
+        engine = run.engine
+        before = engine.metrics.messages_total
+        engine.schedule_local(0, TickMessage(sender=0, commodity=-1), 5)
+        assert engine.metrics.messages_total == before  # not a protocol message
+        assert engine.channel.metrics.attempts == 0  # never saw the channel
+
+    def test_explicit_delay_bypasses_the_channel(self):
+        ext = named_extended_network("diamond")
+        run = AsyncGradientRun(
+            ext, _config(10), faults=FaultSpec(drop=0.99), seed=0
+        )
+        run.engine.send(0, TickMessage(sender=0, commodity=-1), delay=3)
+        assert run.engine.channel.metrics.attempts == 0
+
+
+# ------------------------------------------------------------------ agent units
+
+
+def _interior_agent(run: AsyncGradientRun):
+    """An agent with both marginal and forecast inputs (multi-input, so a
+    single crafted delivery cannot satisfy its freshness predicate)."""
+    for agent in run.agents:
+        ports = list(agent.ports.values())
+        heads = sum(len(p.out_heads) for p in ports if not p.is_sink)
+        tails = sum(len(p.in_tails) for p in ports)
+        if heads >= 1 and tails >= 1 and heads + tails >= 3:
+            return agent
+    raise AssertionError("no interior agent in instance")
+
+
+class TestAsyncAgent:
+    def test_negative_staleness_rejected(self):
+        ext = named_extended_network("diamond")
+        with pytest.raises(SimulationError, match="staleness"):
+            AsyncGradientRun(ext, _config(10), staleness=-1)
+
+    def test_bad_epoch_targets_rejected(self):
+        ext = named_extended_network("diamond")
+        with pytest.raises(SimulationError, match="epochs"):
+            AsyncGradientRun(ext, _config(10)).run(0)
+
+    def test_unknown_commodity_raises_protocol_error(self):
+        run = AsyncGradientRun(named_extended_network("diamond"), _config(10))
+        agent = run.agents[0]
+        msg = MarginalCostMessage(sender=1, commodity=999, seq=1, epoch=0,
+                                  value=0.0, tagged=False)
+        with pytest.raises(ProtocolError, match="does not carry"):
+            agent.on_message(msg, run.engine)
+
+    def test_marginal_from_non_neighbour_raises(self):
+        run = AsyncGradientRun(named_extended_network("diamond"), _config(10))
+        agent = _interior_agent(run)
+        j, port = next(
+            (j, p) for j, p in agent.ports.items() if not p.is_sink
+        )
+        stranger = max(port.out_heads) + 1000
+        msg = MarginalCostMessage(sender=stranger, commodity=j, seq=1,
+                                  epoch=0, value=0.0, tagged=False)
+        with pytest.raises(ProtocolError, match="non-neighbour"):
+            agent.on_message(msg, run.engine)
+
+    def test_sequence_dedup_keeps_last_writer(self):
+        run = AsyncGradientRun(named_extended_network("figure1"), _config(10))
+        agent = _interior_agent(run)
+        j, port = next(
+            (j, p)
+            for j, p in agent.ports.items()
+            if not p.is_sink and p.out_heads
+        )
+        head = port.out_heads[0]
+
+        def deliver(seq, value):
+            agent.on_message(
+                MarginalCostMessage(sender=head, commodity=j, seq=seq,
+                                    epoch=0, value=value, tagged=False),
+                run.engine,
+            )
+
+        deliver(5, 1.25)
+        assert port.dadr_in[head] == 1.25
+        deliver(3, 9.0)  # reordered straggler: ignored
+        assert port.dadr_in[head] == 1.25
+        assert port.dadr_seq[head] == 5
+        deliver(6, 2.5)  # fresh: wins
+        assert port.dadr_in[head] == 2.5
+
+
+# ------------------------------------------------------------------ convergence
+
+
+class TestConvergence:
+    def test_perfect_channel_tracks_sync_reference(self):
+        ext = random_extended_network(3)
+        cfg = _config(60)
+        ref = GradientAlgorithm(ext, cfg).run()
+        run = AsyncGradientRun(ext, cfg, staleness=2)
+        result = run.run(60, record_every=60)
+        assert _drift(result, ref) <= STALENESS_DRIFT_RTOL
+        assert result.solution.method == "gradient-async"
+        # barrier-free evidence: some node ran >= 2 epochs ahead of the
+        # slowest, which a phase barrier can never produce -- and the
+        # freshness rule kept the skew within staleness + 1
+        assert 2 <= result.metrics.max_skew <= run.staleness + 1
+        assert result.metrics.messages > 0
+        assert result.metrics.bytes > result.metrics.messages * ASYNC_STAMP_BYTES
+
+    def test_chaos_channel_still_converges(self):
+        ext = random_extended_network(3)
+        cfg = _config(60)
+        ref = GradientAlgorithm(ext, cfg).run()
+        result = AsyncGradientRun(
+            ext, cfg, staleness=2, faults=CHAOS, seed=42
+        ).run(60, record_every=60)
+        assert _drift(result, ref) <= STALENESS_DRIFT_RTOL
+        assert result.metrics.channel.faults > 0
+
+    def test_staleness_zero_runs_in_lockstep(self):
+        ext = named_extended_network("figure1")
+        result = AsyncGradientRun(ext, _config(30), staleness=0).run(
+            30, record_every=30
+        )
+        assert result.metrics.max_skew <= 1
+
+    def test_trajectory_checkpoints(self):
+        ext = named_extended_network("figure1")
+        result = AsyncGradientRun(ext, _config(20), staleness=2).run(
+            20, record_every=6
+        )
+        assert [r.iteration for r in result.history] == [6, 12, 18, 20]
+        assert all(np.isfinite(r.utility) for r in result.history)
+        assert result.iterations == 20
+
+    def test_warm_start_from_existing_routing(self):
+        ext = named_extended_network("diamond")
+        routing = random_routing(ext, seed=9)
+        result = AsyncGradientRun(ext, _config(15), staleness=2).run(
+            15, routing=routing
+        )
+        assert np.isfinite(result.solution.utility)
+
+    def test_instrumentation_records_async_gauges(self):
+        ext = named_extended_network("diamond")
+        inst = Instrumentation()
+        AsyncGradientRun(
+            ext, _config(10), staleness=2, faults=CHAOS, seed=1,
+            instrumentation=inst,
+        ).run(10, record_every=10)
+        doc = inst.metrics_document()
+        text = json.dumps(doc)
+        assert "async.max_skew" in text
+        assert "async.channel.dropped" in text
+
+
+class TestRetransmitRecovery:
+    def test_heavy_loss_recovers_through_local_timers(self):
+        ext = named_extended_network("diamond")
+        result = AsyncGradientRun(
+            ext, _config(30), staleness=1, tick_interval=2,
+            faults=FaultSpec(drop=0.4), seed=5,
+        ).run(30, record_every=30)
+        m = result.metrics
+        assert m.channel.dropped > 0  # the channel really lost traffic
+        assert m.retransmits > 0  # and the timer path repaired it
+        assert m.ticks > 0
+        assert np.isfinite(result.solution.utility)
+
+
+class TestDeadlockDiagnosis:
+    def test_loss_without_timers_is_diagnosed_not_hung(self):
+        ext = named_extended_network("diamond")
+        with pytest.raises(SimulationError, match="async deadlock") as info:
+            AsyncGradientRun(
+                ext, _config(30), staleness=1, tick_interval=0,
+                faults=FaultSpec(drop=0.5), seed=1,
+            ).run(30, record_every=30)
+        assert "waiting on" in str(info.value)  # per-node stall diagnosis
+
+
+# ------------------------------------------------------------------ chaos soak
+
+
+class TestChaosSoak:
+    """ISSUE 9's headline scenario: a long seeded fault window (delay
+    spikes, loss, duplication -- thousands of injected fault events),
+    followed by quiescence; the run must neither deadlock nor diverge,
+    utility must keep improving once the network heals, and the whole
+    trace must replay bit-identically from its seed."""
+
+    EPOCHS = 60
+    QUIESCE_TICK = 60  # channel turns perfect here; run ends near tick ~90
+
+    def _soak(self, seed=42):
+        ext = random_extended_network(3)
+        run = AsyncGradientRun(
+            ext, _config(self.EPOCHS), staleness=2, faults=CHAOS,
+            seed=seed, fault_until_tick=self.QUIESCE_TICK,
+        )
+        result = run.run(self.EPOCHS, record_every=5)
+        return run, result
+
+    def test_soak_converges_with_a_dense_fault_trace(self):
+        run, result = self._soak()
+        assert result.metrics.channel.faults >= 200  # a *dense* trace
+        ref = GradientAlgorithm(run.ext, _config(self.EPOCHS)).run()
+        assert _drift(result, ref) <= STALENESS_DRIFT_RTOL
+        assert run.engine.pending == 0  # queue fully drained, no zombies
+
+    def test_utility_monotone_after_quiescence(self):
+        _, result = self._soak()
+        tail = [r.utility for r in result.history[-4:]]
+        assert all(b >= a - 1e-9 for a, b in zip(tail, tail[1:]))
+
+    def test_replay_is_hash_identical(self):
+        run_a, result_a = self._soak(seed=42)
+        run_b, result_b = self._soak(seed=42)
+        assert _phi_digest(run_a) == _phi_digest(run_b)
+        assert result_a.metrics.as_dict() == result_b.metrics.as_dict()
+        assert [r.utility for r in result_a.history] == [
+            r.utility for r in result_b.history
+        ]
+
+    def test_different_seed_is_a_different_trace(self):
+        run_a, _ = self._soak(seed=42)
+        run_b, result_b = self._soak(seed=43)
+        assert _phi_digest(run_a) != _phi_digest(run_b)
+        # ... but still inside the drift bound: the protocol's outcome is
+        # schedule-robust even though the trajectory is schedule-specific
+        ref = GradientAlgorithm(run_b.ext, _config(self.EPOCHS)).run()
+        assert _drift(result_b, ref) <= STALENESS_DRIFT_RTOL
+
+
+# ------------------------------------------------------------------ property
+
+
+class TestDeliverySchedules:
+    @settings(deadline=None)
+    @given(schedule=delivery_schedules())
+    def test_any_eventually_delivering_schedule_converges(self, schedule):
+        spec, seed, staleness = schedule
+        ext = named_extended_network("figure1")
+        cfg = _config(40)
+        ref = GradientAlgorithm(ext, cfg).run()
+        result = AsyncGradientRun(
+            ext, cfg, staleness=staleness, faults=spec, seed=seed
+        ).run(40, record_every=40)
+        assert _drift(result, ref) <= STALENESS_DRIFT_RTOL
+
+
+# ------------------------------------------------------------------ integration
+
+
+class TestSolveIntegration:
+    def test_solve_execution_async(self):
+        from repro import solve
+
+        solution = solve(
+            figure1_network(),
+            method="distributed",
+            execution="async",
+            config=_config(30),
+        )
+        assert solution.method == "gradient-async"
+        assert solution.utility > 0
+
+    def test_full_result_exposes_async_metrics(self):
+        from repro import solve
+
+        result = solve(
+            figure1_network(),
+            method="distributed",
+            execution="async",
+            staleness=1,
+            config=_config(20),
+            full_result=True,
+        )
+        assert isinstance(result, AsyncRunResult)
+        assert result.metrics.messages > 0
+        assert result.metrics.max_skew <= 2  # staleness 1 + 1
+
+    def test_execution_requires_distributed_method(self):
+        from repro import solve
+
+        with pytest.raises(TypeError, match="execution"):
+            solve(figure1_network(), method="gradient", execution="async")
+
+    def test_unknown_execution_rejected(self):
+        from repro import solve
+
+        with pytest.raises((ValueError, SolverError), match="execution"):
+            solve(figure1_network(), method="distributed", execution="bogus")
+
+
+class TestOracleIntegration:
+    def test_compare_async_perfect_channel(self):
+        report = DifferentialOracle().compare_async(figure1_network(), epochs=40)
+        assert report.passed
+        assert report.utility_rtol == STALENESS_DRIFT_RTOL
+        assert report.extras["async_metrics"]["messages"] > 0
+
+    def test_compare_async_with_faults(self):
+        report = DifferentialOracle().compare_async(
+            figure1_network(), epochs=40, faults=CHAOS, seed=3,
+        )
+        assert report.passed
+        assert "async" in report.label_b
+
+    def test_algorithm_spec_carries_execution(self):
+        spec = AlgorithmSpec(method="distributed", execution="async")
+        assert "execution=async" in spec.name
+
+
+class TestCLI:
+    def test_solve_execution_async(self, tmp_path, capsys):
+        path = tmp_path / "model.json"
+        save_network(figure1_network(), path)
+        out = tmp_path / "sol.json"
+        code = main(
+            [
+                "solve", str(path),
+                "--method", "distributed",
+                "--execution", "async",
+                "--max-iterations", "30",
+                "-o", str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["method"] == "gradient-async"
+        assert "total utility" in capsys.readouterr().out

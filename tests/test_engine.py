@@ -1,0 +1,117 @@
+"""Direct unit tests for the event engine (repro.simulation.engine).
+
+test_simulation.py exercises the engine through full protocol runs; these
+tests pin the engine's own contract -- scheduling, pausing, budgets, and
+the observability tap -- with minimal hand-rolled agents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.simulation import EventEngine
+from repro.simulation.messages import Message, TickMessage
+
+
+class Recorder:
+    """Agent that logs deliveries and optionally forwards each message."""
+
+    def __init__(self, forward_to=None):
+        self.received = []
+        self.forward_to = forward_to
+
+    def on_message(self, message, engine):
+        self.received.append((engine.now, message))
+        if self.forward_to is not None:
+            engine.send(self.forward_to, message)
+
+
+class SelfLooper:
+    """Agent that re-sends every delivery to itself, forever."""
+
+    def on_message(self, message, engine):
+        engine.send(0, message)
+
+
+def _msg(sender=0, commodity=0):
+    return Message(sender=sender, commodity=commodity)
+
+
+class TestConstruction:
+    def test_rejects_zero_hop_latency(self):
+        with pytest.raises(SimulationError, match="hop_latency"):
+            EventEngine(hop_latency=0)
+
+    def test_rejects_negative_delay(self):
+        engine = EventEngine()
+        engine.register(0, Recorder())
+        with pytest.raises(SimulationError, match="delay"):
+            engine.send(0, _msg(), delay=-1)
+
+    def test_hop_latency_sets_default_delivery_time(self):
+        engine = EventEngine(hop_latency=4)
+        agent = Recorder()
+        engine.register(0, agent)
+        engine.send(0, _msg())
+        engine.run_until_idle()
+        assert agent.received[0][0] == 4
+
+
+class TestRunUntil:
+    def test_stop_condition_pauses_with_messages_pending(self):
+        engine = EventEngine()
+        agent = Recorder()
+        engine.register(0, agent)
+        for i in range(5):
+            engine.send(0, _msg(sender=i), delay=i + 1)
+        engine.run_until(lambda: len(agent.received) >= 2)
+        assert len(agent.received) == 2
+        assert engine.pending == 3  # paused, not drained
+        engine.run_until_idle()  # resume finishes the rest
+        assert len(agent.received) == 5
+        assert engine.pending == 0
+
+    def test_run_until_idle_returns_elapsed_ticks(self):
+        engine = EventEngine()
+        engine.register(0, Recorder())
+        engine.send(0, _msg(), delay=7)
+        assert engine.run_until_idle() == 7
+        assert engine.run_until_idle() == 0  # idle engine: no time passes
+
+    def test_event_budget_catches_livelock(self):
+        engine = EventEngine()
+        engine.register(0, SelfLooper())
+        engine._max_events = 100  # shrink the backstop for the test
+        engine.send(0, _msg())
+        with pytest.raises(SimulationError, match="event budget"):
+            engine.run_until_idle()
+
+
+class TestSchedulingPrimitives:
+    def test_deliver_later_skips_accounting(self):
+        engine = EventEngine()
+        engine.register(0, Recorder())
+        engine._deliver_later(0, TickMessage(sender=0, commodity=-1), 3)
+        assert engine.pending == 1
+        assert engine.metrics.messages_total == 0  # raw path: no accounting
+        engine.run_until_idle()
+
+    def test_on_send_tap_sees_every_protocol_send(self):
+        tapped = []
+        engine = EventEngine(on_send=tapped.append)
+        engine.register(0, Recorder())
+        engine.register(1, Recorder(forward_to=0))
+        engine.send(1, _msg())
+        engine.run_until_idle()
+        assert len(tapped) == 2  # the original send plus the forward
+        assert engine.metrics.messages_total == 2
+
+    def test_equal_time_deliveries_keep_send_order(self):
+        engine = EventEngine()
+        agent = Recorder()
+        engine.register(0, agent)
+        for i in range(10):
+            engine.send(0, _msg(sender=i), delay=5)
+        engine.run_until_idle()
+        assert [m.sender for _, m in agent.received] == list(range(10))

@@ -446,6 +446,21 @@ class TestOrchestratorEpoch:
             legacy = orch.epoch
         assert legacy == orch.current_epoch()
 
+    def test_epoch_deprecation_warns_once_per_instance(self):
+        import warnings
+
+        orch = OnlineOrchestrator(figure1_network(), [])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):  # a polling loop must not flood the log
+                orch.epoch
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        # a fresh instance gets its own single warning
+        other = OnlineOrchestrator(figure1_network(), [])
+        with pytest.deprecated_call():
+            other.epoch
+
 
 # ----------------------------------------------------------- serve session
 
