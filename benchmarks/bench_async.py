@@ -54,8 +54,7 @@ from repro.core.transform import build_extended_network
 from repro.obs import Instrumentation, write_metrics_json
 from repro.simulation import AsyncGradientRun, FaultSpec
 from repro.validate.oracle import STALENESS_DRIFT_RTOL
-from repro.validate.strategies import sparse_large_spec
-from repro.workloads import random_stream_network
+from repro.scenarios import scenario
 
 STALENESS = 2
 CHAOS_SEED = 7
@@ -65,19 +64,20 @@ CHAOS = FaultSpec(
     spike_prob=0.05, spike_delay=10,
 )
 
-# (label, nodes, commodities, network seed, epochs) -- seeds and epoch
-# counts are calibrated into the pre-saturation regime with >= 2x margin
-# under the drift gate (see the sweep table in docs/async.md)
+# (label, scenario, nodes, commodities, epochs) -- the sparse-* catalog
+# entries pin the historical network seeds, and the epoch counts are
+# calibrated into the pre-saturation regime with >= 2x margin under the
+# drift gate (see the sweep table in docs/async.md)
 RUNGS = [
-    ("r120", 120, 16, 0, 30),
-    ("r500", 500, 4, 0, 30),
+    ("r120", "sparse-120x16", 120, 16, 30),
+    ("r500", "sparse-500x4", 500, 4, 30),
 ]
 
 ASYNC_SMOKE = os.environ.get("ASYNC_SMOKE", "") == "1"
 if ASYNC_SMOKE:
     RUNGS = [
-        ("r30", 30, 4, 2, 30),
-        ("r60", 60, 8, 1, 30),
+        ("r30", "sparse-30x4", 30, 4, 30),
+        ("r60", "sparse-60x8", 60, 8, 30),
     ]
 
 
@@ -100,10 +100,8 @@ def _drift(result, reference) -> float:
 def test_async_vs_sync(benchmark):
     def run_experiment():
         rows = []
-        for label, nodes, commodities, seed, epochs in RUNGS:
-            net = random_stream_network(
-                sparse_large_spec(nodes, commodities), seed=seed
-            )
+        for label, scenario_name, nodes, commodities, epochs in RUNGS:
+            net = scenario(scenario_name).compile().network
             ext = build_extended_network(net)
             cfg = GradientConfig(
                 max_iterations=epochs, tolerance=0.0, adaptive_eta=False
@@ -205,10 +203,8 @@ def test_async_vs_sync(benchmark):
 
 def test_async_replay_is_deterministic(benchmark):
     """Same seed, same trace: the chaos run replays bit for bit."""
-    label, nodes, commodities, seed, epochs = RUNGS[0]
-    net = random_stream_network(
-        sparse_large_spec(nodes, commodities), seed=seed
-    )
+    label, scenario_name, nodes, commodities, epochs = RUNGS[0]
+    net = scenario(scenario_name).compile().network
     ext = build_extended_network(net)
     cfg = GradientConfig(
         max_iterations=epochs, tolerance=0.0, adaptive_eta=False

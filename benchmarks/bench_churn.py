@@ -37,13 +37,11 @@ from repro.core.delta import apply_delta, compile_event, diff_extended_networks
 from repro.core.transform import build_extended_network
 from repro.obs import Instrumentation, write_metrics_json
 from repro.online.rebuild import apply_event
-from repro.workloads import ChurnSpec, churn_network, churn_trace
+from repro.scenarios import scenario
 
 NUM_NODES = 120
 NUM_COMMODITIES = 12
 NUM_EVENTS = 60
-NETWORK_SEED = 17
-TRACE_SEED = 18
 REPEATS = 3  # timing is min-of-REPEATS; correctness is every-event
 
 MIN_SCALAR_SPEEDUP = 5.0  # DemandChange / CapacityChange, per single event
@@ -56,6 +54,10 @@ SCALAR_CLASSES = ("DemandChange", "CapacityChange")
 CHURN_SMOKE = os.environ.get("CHURN_SMOKE", "") == "1"
 if CHURN_SMOKE:
     NUM_NODES, NUM_COMMODITIES, NUM_EVENTS = 20, 4, 12
+
+# the catalog entries pin the historical seeds (network 17, trace 18), so
+# the committed BENCH_CHURN.json baselines stay bit-for-bit valid
+SCENARIO_NAME = "churn-smoke-20" if CHURN_SMOKE else "churn-120"
 
 
 def _force_plans(ext) -> None:
@@ -71,12 +73,10 @@ def _carried_plans(old_ext, new_ext) -> int:
 
 
 def test_churn_delta_vs_full_rebuild(benchmark):
-    network = churn_network(
-        num_nodes=NUM_NODES, num_commodities=NUM_COMMODITIES, seed=NETWORK_SEED
-    )
-    events = churn_trace(
-        network, ChurnSpec(num_events=NUM_EVENTS), seed=TRACE_SEED
-    )
+    compiled = scenario(SCENARIO_NAME).compile()
+    network = compiled.network
+    events = compiled.events
+    assert len(events) == NUM_EVENTS
 
     def run_experiment():
         ext = build_extended_network(network)

@@ -39,8 +39,8 @@ from repro.core.routing import (
     resource_usage,
     solve_traffic_scalar,
 )
-from repro.workloads import random_stream_network
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import random_stream_network
+from repro.scenarios import RandomNetworkSpec
 
 ITERATIONS = 300
 MIN_SPEEDUP = 3.0

@@ -21,7 +21,7 @@ from repro import BackpressureAlgorithm, GradientConfig, build_extended_network
 from repro.analysis import TableBuilder
 from repro.core.routing import initial_routing
 from repro.simulation import DistributedGradientRun
-from repro.workloads import tandem_network
+from repro.scenarios import tandem_network
 
 DEPTHS = [2, 4, 8, 16, 32]
 

@@ -29,7 +29,7 @@ from conftest import FIGURE4_SEED, emit
 from repro import GradientConfig
 from repro.analysis import TableBuilder
 from repro.online import DemandChange, NodeFailure, OnlineOrchestrator
-from repro.workloads import paper_figure4_network
+from repro.scenarios import paper_figure4_network
 
 EVENT_AT = 1500
 HORIZON = 6000

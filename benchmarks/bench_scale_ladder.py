@@ -42,8 +42,8 @@ from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.core.routing import initial_routing
 from repro.obs import Instrumentation, write_metrics_json
 from repro.validate import DifferentialOracle, calibrated_gradient_config
-from repro.workloads import paper_figure4_network, random_stream_network
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import paper_figure4_network, random_stream_network
+from repro.scenarios import RandomNetworkSpec
 
 SMOKE = os.environ.get("SCALE_SMOKE", "") == "1"
 

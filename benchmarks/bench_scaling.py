@@ -34,8 +34,8 @@ from repro.obs import Instrumentation, write_metrics_json
 from repro.parallel import ParallelBackend, ThreadBackend, resolve_backend
 from repro.simulation import DistributedGradientRun
 from repro.validate import STALENESS_DRIFT_RTOL
-from repro.workloads import random_stream_network
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import random_stream_network
+from repro.scenarios import RandomNetworkSpec
 
 SIZES = [10, 20, 40, 80]
 MAX_ITERATIONS = 3000

@@ -23,7 +23,7 @@ from conftest import emit
 from repro import AdmissionController, GradientAlgorithm, GradientConfig
 from repro.analysis import TableBuilder
 from repro.dataplane import FluidDataPlane
-from repro.workloads import constant_trace, onoff_trace
+from repro.scenarios import constant_trace, onoff_trace
 
 NUM_SLOTS = 3000
 

@@ -46,6 +46,7 @@ GATED_DOCUMENTS = [
     "BENCH_SCALE.json",
     "BENCH_SERVE.json",
     "BENCH_ASYNC.json",
+    "BENCH_PLACEMENT.json",
 ]
 
 # substrings marking wall-clock metrics: reported, never gated

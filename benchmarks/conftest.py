@@ -13,7 +13,7 @@ from pathlib import Path
 import pytest
 
 from repro import build_extended_network, solve_lp
-from repro.workloads import paper_figure4_network
+from repro.scenarios import paper_figure4_network
 
 FIGURE4_SEED = 7
 

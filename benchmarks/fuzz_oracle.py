@@ -31,7 +31,7 @@ from repro.validate import (
     calibrated_gradient_config,
 )
 from repro.validate.strategies import oracle_seed_matrix, small_random_spec
-from repro.workloads import random_stream_network
+from repro.scenarios import random_stream_network
 
 SEEDS = oracle_seed_matrix()
 

@@ -14,7 +14,7 @@ Run:  python examples/capacity_planning.py
 from repro import GradientAlgorithm, GradientConfig, Task, build_extended_network
 from repro.analysis import TableBuilder
 from repro.placement import feasible_hosts, place_task_chain
-from repro.workloads import figure1_network
+from repro.scenarios import figure1_network
 
 
 def main() -> None:

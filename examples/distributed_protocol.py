@@ -24,7 +24,7 @@ from repro import (
 from repro.analysis import TableBuilder
 from repro.core.routing import initial_routing
 from repro.simulation import DistributedGradientRun
-from repro.workloads import figure1_network, tandem_network
+from repro.scenarios import figure1_network, tandem_network
 
 
 def main() -> None:

@@ -20,7 +20,7 @@ Run:  python examples/failure_recovery.py
 from repro import GradientAlgorithm, GradientConfig, build_extended_network
 from repro.analysis import TableBuilder, ascii_plot
 from repro.online import DemandChange, NodeFailure, OnlineOrchestrator
-from repro.workloads import paper_figure4_network
+from repro.scenarios import paper_figure4_network
 
 SURGE_AT = 1000
 FAILURE_AT = 2000

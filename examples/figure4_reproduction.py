@@ -23,7 +23,7 @@ from repro import (
     solve_lp,
 )
 from repro.analysis import AlgorithmTrajectory, ascii_plot, figure4_table
-from repro.workloads import paper_figure4_network
+from repro.scenarios import paper_figure4_network
 
 
 def main() -> None:

@@ -22,7 +22,7 @@ from repro import (
 )
 from repro.analysis import TableBuilder, solution_table
 from repro.core.routing import feasibility_report
-from repro.workloads import financial_pipeline_network
+from repro.scenarios import financial_pipeline_network
 
 
 def main() -> None:

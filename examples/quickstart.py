@@ -17,7 +17,7 @@ from repro import (
     solve_lp,
 )
 from repro.analysis import solution_table
-from repro.workloads import figure1_network, onoff_trace, trace_stats
+from repro.scenarios import figure1_network, onoff_trace, trace_stats
 
 
 def main() -> None:

@@ -25,7 +25,7 @@ from repro import (
     solve_optimal,
 )
 from repro.analysis import TableBuilder
-from repro.workloads import mmpp_trace, sensor_fusion_network
+from repro.scenarios import mmpp_trace, sensor_fusion_network
 
 
 def optimise(network):

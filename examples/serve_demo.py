@@ -31,11 +31,13 @@ from repro.analysis import TableBuilder
 from repro.io import commodity_to_dict
 from repro.serve import ServeConfig, ServerThread
 from repro.serve.client import ServeClient
-from repro.workloads import churn_network
+from repro.scenarios import scenario
 
-NUM_NODES = 24
-NUM_COMMODITIES = 4
-SEED = 11
+# the catalog pins the instance (24 nodes, 4 streams, seed 11); the same
+# name works everywhere: `repro scenario run serve-demo-24`, or
+# `python -m repro.serve.client --scenario serve-demo-24` against a live
+# daemon, reproduce this exact network
+SCENARIO_NAME = "serve-demo-24"
 
 
 def describe(label: str, doc: dict) -> list:
@@ -52,9 +54,7 @@ def describe(label: str, doc: dict) -> list:
 
 
 def main() -> None:
-    network = churn_network(
-        num_nodes=NUM_NODES, num_commodities=NUM_COMMODITIES, seed=SEED
-    )
+    network = scenario(SCENARIO_NAME).compile().network
     # a demo is latency-unconstrained: spend more refine iterations per
     # batch than a serving deployment would, so each printed admitted
     # rate is well converged

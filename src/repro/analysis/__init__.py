@@ -11,6 +11,7 @@ from repro.analysis.report import (
     AlgorithmTrajectory,
     TableBuilder,
     figure4_table,
+    placement_table,
     solution_table,
     timing_table,
 )
@@ -24,6 +25,7 @@ __all__ = [
     "AlgorithmTrajectory",
     "TableBuilder",
     "figure4_table",
+    "placement_table",
     "solution_table",
     "timing_table",
 ]

@@ -9,6 +9,7 @@ Commands
 ``validate``   solve + audit against the paper's invariant catalog
 ``figure4``    run a quick Figure-4 reproduction
 ``serve``      run the admission-control daemon (``repro.serve/1`` over TCP)
+``scenario``   list the named scenario catalog, or compile and run one
 
 Examples
 --------
@@ -28,6 +29,11 @@ Examples
     python -m repro figure4 --seed 7
     python -m repro serve model.json --port 7471 --workers 4
     python -m repro serve --nodes 120 --commodities 12 --batch-window 0.02
+    python -m repro serve --scenario serve-smoke-30
+    python -m repro scenario list --json
+    python -m repro scenario run fat-tree-16          # TAB-PLACEMENT
+    python -m repro scenario run serve-diurnal-30 --seed 3
+    python -m repro solve --scenario sparse-30x4 --method gradient
 
 ``solve --json`` emits one JSON document (the ``repro.result/1`` schema,
 plus an embedded ``repro.metrics/1`` registry section when instrumentation
@@ -61,8 +67,8 @@ from repro.io import (
     save_solution,
     utility_to_spec,
 )
-from repro.workloads import paper_figure4_network, random_stream_network
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import paper_figure4_network, random_stream_network
+from repro.scenarios import RandomNetworkSpec
 
 __all__ = ["main"]
 
@@ -141,8 +147,31 @@ def _workers_arg(value: str):
         )
 
 
+def _model_label(args: argparse.Namespace) -> str:
+    """What the output documents call the input model."""
+    if getattr(args, "scenario", None) is not None:
+        return f"scenario:{args.scenario}"
+    return args.model
+
+
+def _input_network(args: argparse.Namespace):
+    """The input model: a file, or a compiled ``--scenario`` network."""
+    scenario_name = getattr(args, "scenario", None)
+    if scenario_name is not None:
+        if args.model is not None:
+            raise SystemExit(
+                "error: pass either a model file or --scenario, not both"
+            )
+        from repro.scenarios import scenario
+
+        return scenario(scenario_name).compile().network
+    if args.model is None:
+        raise SystemExit("error: a model file or --scenario is required")
+    return load_network(args.model)
+
+
 def _instrumented_solve(args: argparse.Namespace, instrumentation, validate=False):
-    network = load_network(args.model)
+    network = _input_network(args)
     options = SolveOptions(
         method=args.method,
         config=_make_config(args),
@@ -159,7 +188,9 @@ def _instrumented_solve(args: argparse.Namespace, instrumentation, validate=Fals
 
 def _export_instrumentation(args: argparse.Namespace, inst, quiet: bool) -> None:
     if getattr(args, "metrics_out", None):
-        inst.export_metrics(args.metrics_out, model=args.model, method=args.method)
+        inst.export_metrics(
+            args.metrics_out, model=_model_label(args), method=args.method
+        )
         if not quiet:
             print(f"wrote metrics to {args.metrics_out}")
     if getattr(args, "trace_out", None):
@@ -173,7 +204,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     inst = Instrumentation() if instrument else None
     result = _instrumented_solve(args, inst, validate=args.validate)
     if args.json:
-        doc = result_to_dict(result, model=args.model, method=args.method)
+        doc = result_to_dict(result, model=_model_label(args), method=args.method)
         doc["metrics"] = inst.metrics_document(include_events=False)
         print(json.dumps(doc, indent=2))
     else:
@@ -250,14 +281,17 @@ def _cmd_validate(args: argparse.Namespace) -> int:
                 )
         return 0 if all(r.caught for r in records) else 1
 
-    if args.model is None:
-        print("error: a model file is required unless --self-test", file=sys.stderr)
+    if args.model is None and getattr(args, "scenario", None) is None:
+        print(
+            "error: a model file or --scenario is required unless --self-test",
+            file=sys.stderr,
+        )
         return 2
     result = _instrumented_solve(args, None, validate=True)
     report = result.validation
     if args.json:
         doc = report.to_dict()
-        doc["model"] = args.model
+        doc["model"] = _model_label(args)
         doc["method"] = args.method
         print(json.dumps(doc, indent=2))
     else:
@@ -300,13 +334,97 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.scenarios import scenario, scenario_summaries
+
+    if args.action == "list":
+        rows = scenario_summaries()
+        if args.json:
+            doc = {"schema": "repro.scenarios/1", "scenarios": rows}
+            print(json.dumps(doc, indent=2))
+        else:
+            width = max(len(row["name"]) for row in rows)
+            for row in rows:
+                print(f"{row['name'].ljust(width)}  {row['description']}")
+        return 0
+
+    spec = scenario(args.name, seed=args.seed)
+    if spec.placement.kind == "joint":
+        from repro.analysis import placement_table
+        from repro.placement import JointPlacementLoop
+
+        report = JointPlacementLoop.from_scenario(spec).run()
+        if args.json:
+            doc = {
+                "schema": "repro.scenario.run/1",
+                "scenario": spec.name,
+                "seed": spec.seed,
+                "mode": "joint-placement",
+                "report": report.to_dict(),
+            }
+            print(json.dumps(doc, indent=2))
+        else:
+            print(
+                placement_table(
+                    report, title=f"TAB-PLACEMENT ({spec.name}, seed {spec.seed})"
+                )
+            )
+        return 0
+
+    from repro.online import OnlineOrchestrator
+
+    compiled = spec.compile()
+    orchestrator = OnlineOrchestrator(
+        compiled.network, compiled.events, config=GradientConfig(eta=args.step_size)
+    )
+    iterations = (
+        args.iterations if args.iterations is not None else compiled.horizon()
+    )
+    result = orchestrator.run(iterations)
+    if args.json:
+        doc = {
+            "schema": "repro.scenario.run/1",
+            "scenario": spec.name,
+            "seed": spec.seed,
+            "mode": "online",
+            "events": len(compiled.events),
+            "iterations": iterations,
+            "final_utility": result.final_utility,
+            "recoveries": len(result.recoveries),
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        network = compiled.network
+        print(
+            f"scenario {spec.name!r} (seed {spec.seed}): "
+            f"{len(network.physical.nodes)} nodes, "
+            f"{len(network.commodities)} commodities, "
+            f"{len(compiled.events)} events over {iterations} iterations"
+        )
+        print(
+            f"final utility {result.final_utility:.4f}  "
+            f"({len(result.recoveries)} event recoveries)"
+        )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.serve import AdmissionServer, ServeConfig
 
+    if args.model is not None and args.scenario is not None:
+        print(
+            "error: pass either a model file or --scenario, not both",
+            file=sys.stderr,
+        )
+        return 2
     if args.model is not None:
         network = load_network(args.model)
+    elif args.scenario is not None:
+        from repro.scenarios import scenario
+
+        network = scenario(args.scenario).compile().network
     else:
         spec = RandomNetworkSpec(
             num_nodes=args.nodes, num_commodities=args.commodities
@@ -359,7 +477,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pass
     if inst is not None:
         inst.export_metrics(
-            args.metrics_out, model=args.model or "generated", method="serve"
+            args.metrics_out,
+            model=args.model
+            or (f"scenario:{args.scenario}" if args.scenario else "generated"),
+            method="serve",
         )
         print(f"wrote metrics to {args.metrics_out}")
     return 0
@@ -370,7 +491,17 @@ def _add_solver_options(
 ) -> None:
     """Flags shared by ``solve``, ``profile``, and ``validate``."""
     if positional_model:
-        parser.add_argument("model")
+        parser.add_argument(
+            "model", nargs="?", default=None,
+            help="model file (or use --scenario)",
+        )
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME",
+        help="compile a named scenario's network as the input model "
+        "instead of reading a file (see 'repro scenario list')",
+    )
     parser.add_argument(
         "--method",
         choices=["gradient", "distributed", "optimal", "backpressure"],
@@ -512,6 +643,38 @@ def build_parser() -> argparse.ArgumentParser:
     fig.add_argument("--bp-iterations", type=int, default=60000)
     fig.set_defaults(func=_cmd_figure4)
 
+    scen = sub.add_parser(
+        "scenario",
+        help="list the named scenario catalog, or compile and run one",
+    )
+    scen_sub = scen.add_subparsers(dest="action", required=True)
+    scen_list = scen_sub.add_parser("list", help="list the catalog")
+    scen_list.add_argument(
+        "--json", action="store_true",
+        help="emit a repro.scenarios/1 JSON document",
+    )
+    scen_list.set_defaults(func=_cmd_scenario)
+    scen_run = scen_sub.add_parser(
+        "run",
+        help="compile a named scenario and run it (online timeline, or the "
+        "joint placement loop for placement=joint entries)",
+    )
+    scen_run.add_argument("name")
+    scen_run.add_argument(
+        "--seed", type=int, default=None,
+        help="override the entry's pinned seed",
+    )
+    scen_run.add_argument(
+        "--iterations", type=int, default=None,
+        help="online horizon (default: past the last event)",
+    )
+    scen_run.add_argument("--step-size", type=float, default=0.04)
+    scen_run.add_argument(
+        "--json", action="store_true",
+        help="emit a repro.scenario.run/1 JSON document",
+    )
+    scen_run.set_defaults(func=_cmd_scenario)
+
     srv = sub.add_parser(
         "serve",
         help="run the admission-control daemon (repro.serve/1 over TCP)",
@@ -523,6 +686,13 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--nodes", type=int, default=40)
     srv.add_argument("--commodities", type=int, default=4)
     srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="serve a named scenario's compiled network "
+        "(see 'repro scenario list'); clients can replay the same "
+        "scenario's trace with 'python -m repro.serve.client "
+        "--scenario NAME'",
+    )
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument(
         "--port", type=int, default=0,

@@ -196,6 +196,34 @@ class OnlineOrchestrator:
         self._epoch = 0
         self._epoch_deprecation_warned = False
 
+    @classmethod
+    def from_scenario(
+        cls, spec, seed: Optional[int] = None, **kwargs
+    ) -> "OnlineOrchestrator":
+        """Build an orchestrator from a :class:`~repro.scenarios.ScenarioSpec`.
+
+        ``spec`` is a spec instance or a catalog name
+        (``"serve-diurnal-30"``); ``seed`` overrides the spec's pinned
+        seed.  The spec's compiled ``(network, events)`` pair feeds the
+        constructor; every other keyword argument is forwarded.
+        """
+        # lazy import: repro.scenarios uses the online event/rebuild layer
+        # for shadow validation, so a module-scope import would be circular
+        from repro.scenarios import ScenarioSpec, scenario
+
+        if isinstance(spec, str):
+            spec = scenario(spec, seed=seed)
+        elif isinstance(spec, ScenarioSpec):
+            if seed is not None:
+                spec = spec.with_seed(seed)
+        else:
+            raise ModelError(
+                f"from_scenario takes a ScenarioSpec or a catalog name, "
+                f"got {type(spec).__name__}"
+            )
+        compiled = spec.compile()
+        return cls(compiled.network, compiled.events, **kwargs)
+
     def current_epoch(self) -> int:
         """The model epoch after the most recently applied event.
 

@@ -2,9 +2,24 @@
 
 Fills the gap the paper leaves open ("we assume the task to server
 assignment is given", citing Srivastava et al. [14]) with an LP-scored
-greedy/local-search placer.
+greedy/local-search placer (:func:`place_task_chain`) and a joint
+placement + routing + admission loop (:class:`JointPlacementLoop`) that
+alternates placement proposals with warm gradient re-optimization on the
+delta core.
 """
 
 from repro.placement.greedy import PlacementResult, feasible_hosts, place_task_chain
+from repro.placement.joint import (
+    JointPlacementLoop,
+    JointPlacementReport,
+    PlacementMove,
+)
 
-__all__ = ["PlacementResult", "feasible_hosts", "place_task_chain"]
+__all__ = [
+    "PlacementResult",
+    "feasible_hosts",
+    "place_task_chain",
+    "JointPlacementLoop",
+    "JointPlacementReport",
+    "PlacementMove",
+]

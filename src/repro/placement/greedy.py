@@ -39,7 +39,7 @@ from repro.core.transform import build_extended_network
 from repro.core.utility import LinearUtility, UtilityFunction
 from repro.exceptions import ModelError
 
-__all__ = ["PlacementResult", "feasible_hosts", "place_task_chain"]
+__all__ = ["PlacementResult", "feasible_hosts", "greedy_seed", "place_task_chain"]
 
 
 @dataclass
@@ -117,6 +117,48 @@ def feasible_hosts(
     return layers
 
 
+def greedy_seed(
+    physical: PhysicalNetwork,
+    tasks: Sequence[Task],
+    layers: Sequence[Set[str]],
+    max_replicas: int,
+) -> Dict[str, List[str]]:
+    """The capacity-greedy connectivity-aware seed placement.
+
+    Each task takes its ``max_replicas`` highest-capacity feasible hosts,
+    never reusing a server within the chain, preferring hosts with a
+    physical link from the previous task's chosen hosts -- so even a
+    single-replica chain comes out as a connected path when one exists.
+    Hosts without such a link are only used when no connected candidate
+    remains (pruning in the task-chain builder may still rescue them).
+    """
+    placement: Dict[str, List[str]] = {}
+    used: Set[str] = set()
+    previous: List[str] = []
+    for task, layer in zip(tasks, layers):
+        available = [h for h in layer if h not in used]
+        if not available:
+            raise ModelError(
+                f"task {task.name!r} has no feasible host left "
+                f"(chain reuses every candidate)"
+            )
+        connected = [
+            h
+            for h in available
+            if not previous
+            or any(physical.has_link(p, h) for p in previous)
+        ]
+        ranked = sorted(
+            connected or available,
+            key=lambda h: -physical.node(h).capacity,
+        )
+        chosen = ranked[:max_replicas]
+        placement[task.name] = chosen
+        used.update(chosen)
+        previous = chosen
+    return placement
+
+
 def _build_candidate(
     background: StreamNetwork,
     tasks: Sequence[Task],
@@ -192,22 +234,7 @@ def place_task_chain(
         _score(background) if background.commodities else 0.0
     )
 
-    # greedy seed: top-capacity hosts per layer, no server reuse in the chain
-    placement: Dict[str, List[str]] = {}
-    used: Set[str] = set()
-    for task, layer in zip(tasks, layers):
-        ranked = sorted(
-            (h for h in layer if h not in used),
-            key=lambda h: -physical.node(h).capacity,
-        )
-        if not ranked:
-            raise ModelError(
-                f"task {task.name!r} has no feasible host left "
-                f"(chain reuses every candidate)"
-            )
-        chosen = ranked[:max_replicas]
-        placement[task.name] = chosen
-        used.update(chosen)
+    placement = greedy_seed(physical, tasks, layers, max_replicas)
 
     candidate = _build_candidate(
         background, tasks, placement, source, sink, max_rate, utility, name

@@ -1,0 +1,163 @@
+"""Correlated failure models: rack and AS outages as clustered event bursts.
+
+Independent single-element failures (the ``link_failure`` / ``node_failure``
+kinds of :class:`~repro.scenarios.churn.ChurnSpec`) miss the dominant
+real-world pattern: a rack power loss or an AS-level outage takes out a
+*cluster* of nearby elements at once.  :func:`correlated_failure_events`
+models that as bursts -- an anchor node plus its BFS ball in the physical
+topology, emitted as consecutive :class:`~repro.online.events.NodeFailure`
+and :class:`~repro.online.events.LinkFailure` events (the orchestrator
+applies one event per iteration, so a burst is a run of adjacent
+iterations).
+
+Every emitted event is applied to a shadow copy of the evolving network
+via :func:`repro.online.rebuild.apply_event`, so the burst timeline is
+replayable without raising; candidates that would disconnect the last
+commodity are skipped, mirroring :func:`repro.scenarios.churn.churn_trace`.
+Everything is deterministic given ``(spec, seed)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.commodity import StreamNetwork
+from repro.exceptions import ModelError
+from repro.online.events import LinkFailure, NetworkEvent, NodeFailure
+from repro.online.rebuild import apply_event
+
+__all__ = ["CorrelatedFailureSpec", "correlated_failure_events"]
+
+
+@dataclass
+class CorrelatedFailureSpec:
+    """Knobs of the correlated-failure generator.
+
+    Each of ``num_bursts`` bursts anchors at a random interior processing
+    node and fails the anchor's BFS ball of radius ``cluster_radius``
+    (capped at ``cluster_size`` nodes -- "the rack"), plus a
+    ``link_fraction`` share of the in-use links crossing the cluster
+    boundary ("the uplinks").  Bursts start at ``start_iteration`` and are
+    ``burst_gap`` iterations apart; events within a burst occupy
+    consecutive iterations.
+    """
+
+    num_bursts: int = 2
+    cluster_radius: int = 1
+    cluster_size: int = 3
+    link_fraction: float = 0.5
+    start_iteration: int = 10
+    burst_gap: int = 40
+
+    def __post_init__(self) -> None:
+        if self.num_bursts < 1:
+            raise ModelError("num_bursts must be >= 1")
+        if self.cluster_radius < 0:
+            raise ModelError("cluster_radius must be >= 0")
+        if self.cluster_size < 1:
+            raise ModelError("cluster_size must be >= 1")
+        if not 0.0 <= self.link_fraction <= 1.0:
+            raise ModelError("link_fraction must be in [0, 1]")
+        if self.start_iteration < 1:
+            raise ModelError("start_iteration must be >= 1")
+        if self.burst_gap < 2:
+            raise ModelError("burst_gap must be >= 2")
+
+
+def _undirected_adjacency(network: StreamNetwork) -> Dict[str, Set[str]]:
+    adj: Dict[str, Set[str]] = {}
+    for tail, head in network.physical.links:
+        adj.setdefault(tail, set()).add(head)
+        adj.setdefault(head, set()).add(tail)
+    return adj
+
+
+def _interior_nodes(shadow: StreamNetwork) -> List[str]:
+    """Processing nodes that are neither a source nor a sink of any live
+    commodity -- the only safe anchors (killing a source always drops its
+    whole commodity, which makes short bursts degenerate)."""
+    sources = {c.source for c in shadow.commodities}
+    sinks = {c.sink for c in shadow.commodities}
+    return sorted(
+        {n for c in shadow.commodities for n in c.potentials} - sources - sinks
+    )
+
+
+def correlated_failure_events(
+    network: StreamNetwork,
+    spec: Optional[CorrelatedFailureSpec] = None,
+    seed: int = 0,
+) -> List[NetworkEvent]:
+    """A replayable burst timeline of clustered node + link failures.
+
+    Each burst fails a connected cluster (anchor + BFS ball) of interior
+    processing nodes at consecutive iterations, then a sampled fraction of
+    the in-use links crossing the cluster boundary.  Candidates that the
+    shadow replay rejects (e.g. the failure would disconnect every
+    commodity) are skipped rather than retried elsewhere: a burst that
+    *partially* lands is exactly what a real outage with redundant
+    capacity looks like.
+    """
+    spec = spec or CorrelatedFailureSpec()
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xFA11]))
+    adj = _undirected_adjacency(network)
+
+    shadow = network
+    events: List[NetworkEvent] = []
+    at_iteration = spec.start_iteration
+    for _burst in range(spec.num_bursts):
+        interior = _interior_nodes(shadow)
+        if not interior:
+            break
+        anchor = interior[int(rng.integers(len(interior)))]
+        # the "rack": BFS ball around the anchor, interior nodes only
+        cluster = [anchor]
+        seen = {anchor}
+        frontier = [anchor]
+        for _ in range(spec.cluster_radius):
+            nxt: List[str] = []
+            for u in frontier:
+                for v in sorted(adj.get(u, ())):
+                    if v not in seen:
+                        seen.add(v)
+                        nxt.append(v)
+            frontier = nxt
+            cluster.extend(v for v in nxt if v in set(interior))
+        cluster = cluster[: spec.cluster_size]
+
+        felled: Set[str] = set()
+        for node in cluster:
+            candidate: NetworkEvent = NodeFailure(
+                at_iteration=at_iteration, node=node
+            )
+            try:
+                shadow = apply_event(shadow, candidate).network
+            except ModelError:
+                continue  # redundant capacity absorbed part of the outage
+            events.append(candidate)
+            felled.add(node)
+            at_iteration += 1
+
+        # the "uplinks": in-use links crossing the cluster boundary
+        in_use = {e for c in shadow.commodities for e in c.edges}
+        boundary: List[Tuple[str, str]] = sorted(
+            (tail, head)
+            for (tail, head) in in_use
+            if (tail in seen) != (head in seen)
+        )
+        for link in boundary:
+            if rng.random() >= spec.link_fraction:
+                continue
+            candidate = LinkFailure(at_iteration=at_iteration, link=link)
+            try:
+                shadow = apply_event(shadow, candidate).network
+            except ModelError:
+                continue
+            events.append(candidate)
+            at_iteration += 1
+
+        at_iteration += spec.burst_gap
+    return events

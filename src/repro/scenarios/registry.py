@@ -1,0 +1,291 @@
+"""The named scenario catalog: ``scenario("fat-tree-128", seed=...)``.
+
+Benchmarks, examples, the CLI (``repro scenario list/run``), and the
+hypothesis strategies all pull named :class:`~repro.scenarios.spec.ScenarioSpec`
+templates from here instead of hand-rolling network builders.  Entries
+are frozen specs with *pinned default seeds*: the ``churn-120`` /
+``serve-mix-120`` / ``sparse-*`` entries reproduce the committed
+benchmark baselines bit-for-bit (network seed = the bench's historical
+``NETWORK_SEED``, trace seed = ``NETWORK_SEED + 1`` via the spec's
+``seed + 1`` convention).
+
+``register_scenario`` lets downstream code add entries (tests use it);
+names are unique and registration of an existing name requires
+``overwrite=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.exceptions import ModelError
+from repro.scenarios.spec import (
+    DemandSpec,
+    FailureSpec,
+    PlacementSpec,
+    ScenarioSpec,
+    TopologySpec,
+)
+
+__all__ = [
+    "scenario",
+    "scenario_names",
+    "scenario_summaries",
+    "register_scenario",
+    "SERVE_WEIGHTS",
+]
+
+# the serve-daemon event mix: mostly demand drift, occasional failures --
+# shared between the serve bench and the serve-* scenario entries
+SERVE_WEIGHTS: Dict[str, float] = {
+    "demand": 8.0,
+    "capacity": 4.0,
+    "arrival": 0.4,
+    "departure": 0.4,
+    "link_failure": 0.15,
+    "node_failure": 0.05,
+}
+
+_CATALOG: Dict[str, ScenarioSpec] = {}
+_DESCRIPTIONS: Dict[str, str] = {}
+
+
+def register_scenario(
+    name: str, spec: ScenarioSpec, description: str, overwrite: bool = False
+) -> ScenarioSpec:
+    """Add ``spec`` to the catalog under ``name``."""
+    if name in _CATALOG and not overwrite:
+        raise ModelError(f"scenario {name!r} is already registered")
+    spec = ScenarioSpec(
+        name=name,
+        topology=spec.topology,
+        demand=spec.demand,
+        failures=spec.failures,
+        placement=spec.placement,
+        seed=spec.seed,
+    )
+    _CATALOG[name] = spec
+    _DESCRIPTIONS[name] = description
+    return spec
+
+
+def scenario(name: str, seed: Optional[int] = None) -> ScenarioSpec:
+    """Look up a named spec; ``seed`` overrides the pinned default."""
+    try:
+        spec = _CATALOG[name]
+    except KeyError:
+        raise ModelError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+    return spec if seed is None else spec.with_seed(seed)
+
+
+def scenario_names() -> List[str]:
+    return sorted(_CATALOG)
+
+
+def scenario_summaries() -> List[Dict[str, Any]]:
+    """One JSON-compatible row per catalog entry (``repro scenario list``)."""
+    rows = []
+    for name in scenario_names():
+        spec = _CATALOG[name]
+        rows.append(
+            {
+                "name": name,
+                "description": _DESCRIPTIONS[name],
+                "topology": spec.topology.kind,
+                "demand": spec.demand.kind,
+                "failures": spec.failures.kind,
+                "placement": spec.placement.kind,
+                "seed": spec.seed,
+            }
+        )
+    return rows
+
+
+def _entry(
+    name: str,
+    description: str,
+    topology: TopologySpec,
+    demand: DemandSpec = DemandSpec(),
+    failures: FailureSpec = FailureSpec(),
+    placement: PlacementSpec = PlacementSpec(),
+    seed: int = 0,
+) -> None:
+    register_scenario(
+        name,
+        ScenarioSpec(
+            name=name,
+            topology=topology,
+            demand=demand,
+            failures=failures,
+            placement=placement,
+            seed=seed,
+        ),
+        description,
+    )
+
+
+# --- paper instances (deterministic; seed is inert) ---------------------
+_entry(
+    "figure1",
+    "the paper's Figure-1 running example: 8 servers, two coupled streams",
+    TopologySpec("figure1"),
+)
+_entry(
+    "figure4",
+    "the paper's Section-6 synthetic evaluation network (40 nodes, 3 streams)",
+    TopologySpec("random"),
+    seed=7,
+)
+_entry(
+    "sensor-fusion",
+    "environmental monitoring fields with log utilities (fair sharing)",
+    TopologySpec("sensor-fusion"),
+)
+_entry(
+    "financial",
+    "market-data pipelines with an expanding decrypt stage",
+    TopologySpec("financial"),
+)
+_entry(
+    "diamond",
+    "smallest network with a genuine routing choice; hand-checkable optimum",
+    TopologySpec("diamond"),
+)
+
+# --- churn / serve benchmark workloads (seeds pin committed baselines) --
+_entry(
+    "churn-120",
+    "bench_churn full rung: 120-node random net, 60 mixed churn events",
+    TopologySpec("churn-random", {"num_nodes": 120, "num_commodities": 12}),
+    DemandSpec("churn", {"num_events": 60}),
+    seed=17,
+)
+_entry(
+    "churn-smoke-20",
+    "bench_churn CI smoke rung: 20 nodes, 12 events",
+    TopologySpec("churn-random", {"num_nodes": 20, "num_commodities": 4}),
+    DemandSpec("churn", {"num_events": 12}),
+    seed=17,
+)
+_entry(
+    "serve-mix-120",
+    "bench_serve full rung: 120-node net, 240 serve-mix churn events",
+    TopologySpec("churn-random", {"num_nodes": 120, "num_commodities": 12}),
+    DemandSpec("churn", {"num_events": 240, "weights": SERVE_WEIGHTS}),
+    seed=21,
+)
+_entry(
+    "serve-smoke-30",
+    "bench_serve CI smoke rung: 30 nodes, 200 serve-mix events",
+    TopologySpec("churn-random", {"num_nodes": 30, "num_commodities": 6}),
+    DemandSpec("churn", {"num_events": 200, "weights": SERVE_WEIGHTS}),
+    seed=21,
+)
+_entry(
+    "serve-diurnal-30",
+    "serving soak against a non-stationary day/night demand curve",
+    TopologySpec("churn-random", {"num_nodes": 30, "num_commodities": 6}),
+    DemandSpec(
+        "diurnal",
+        {"num_samples": 16, "period_samples": 8.0, "amplitude": 0.6,
+         "iteration_gap": 10},
+    ),
+    seed=21,
+)
+_entry(
+    "serve-demo-24",
+    "the serve_demo example instance: small net, demand-heavy mix",
+    TopologySpec("churn-random", {"num_nodes": 24, "num_commodities": 4}),
+    DemandSpec("churn", {"num_events": 12, "weights": SERVE_WEIGHTS}),
+    seed=11,
+)
+_entry(
+    "flash-crowd-30",
+    "steady load, then one stream spikes 4x and decays back",
+    TopologySpec("churn-random", {"num_nodes": 30, "num_commodities": 6}),
+    DemandSpec(
+        "flash-crowd",
+        {"num_samples": 10, "spike_sample": 3, "spike_factor": 4.0,
+         "iteration_gap": 10},
+    ),
+    seed=21,
+)
+
+# --- scale-ladder / async rungs (bench_async + bench_scale_ladder) ------
+for _label, _nodes, _commodities, _seed in (
+    ("sparse-120x16", 120, 16, 0),
+    ("sparse-500x4", 500, 4, 0),
+    ("sparse-30x4", 30, 4, 2),
+    ("sparse-60x8", 60, 8, 1),
+):
+    _entry(
+        _label,
+        f"sparse scale rung: {_nodes} nodes, {_commodities} commodities",
+        TopologySpec(
+            "sparse",
+            {"num_nodes": _nodes, "num_commodities": _commodities},
+        ),
+        seed=_seed,
+    )
+
+# --- datacenter / ISP topologies (joint placement headline) -------------
+# Calibration note: placement only matters when streams contend for tight
+# switch/router capacity AND max_replicas is below the tier width, so the
+# joint entries pin tight capacity ranges and single-replica chains.
+_entry(
+    "fat-tree-16",
+    "k=4 fat-tree (16 hosts), 8 contending streams, joint placement",
+    TopologySpec(
+        "fat-tree",
+        {"k": 4, "num_streams": 8, "switch_capacity_range": [5.0, 12.0]},
+    ),
+    placement=PlacementSpec(
+        "joint", {"rounds": 2, "max_moves": 6, "max_replicas": 1}
+    ),
+)
+_entry(
+    "fat-tree-128",
+    "k=8 fat-tree (128 hosts), 8 cross-pod streams, joint placement",
+    TopologySpec(
+        "fat-tree",
+        {"k": 8, "num_streams": 8, "switch_capacity_range": [5.0, 12.0]},
+    ),
+    placement=PlacementSpec(
+        "joint", {"rounds": 1, "max_moves": 3, "max_replicas": 1}
+    ),
+)
+_entry(
+    "isp-32",
+    "32-router scale-free ISP graph, 4 streams, joint placement",
+    TopologySpec(
+        "isp",
+        {"num_routers": 32, "num_streams": 4, "capacity_range": [6.0, 18.0]},
+    ),
+    placement=PlacementSpec(
+        "joint", {"rounds": 2, "max_moves": 6, "max_replicas": 1}
+    ),
+)
+_entry(
+    "isp-128",
+    "128-router scale-free ISP graph, 8 streams, joint placement",
+    TopologySpec(
+        "isp",
+        {"num_routers": 128, "num_streams": 8, "capacity_range": [6.0, 18.0]},
+    ),
+    placement=PlacementSpec(
+        "joint", {"rounds": 1, "max_moves": 3, "max_replicas": 1}
+    ),
+)
+_entry(
+    "rack-outage-16",
+    "k=4 fat-tree under correlated rack failures plus diurnal demand",
+    TopologySpec("fat-tree", {"k": 4, "num_streams": 4}),
+    DemandSpec("diurnal", {"num_samples": 8, "iteration_gap": 8}),
+    FailureSpec(
+        "correlated",
+        {"num_bursts": 2, "cluster_radius": 1, "cluster_size": 3,
+         "start_iteration": 25, "burst_gap": 40},
+    ),
+)

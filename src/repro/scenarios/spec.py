@@ -1,0 +1,357 @@
+"""The declarative scenario layer: one frozen object per workload.
+
+A :class:`ScenarioSpec` describes a complete experiment as data --
+*topology* (which stream network to build), *demand* (how offered rates
+evolve), *failures* (what breaks, and how correlated), and *placement*
+(whether task placement is fixed or jointly optimized) -- plus a single
+``seed``.  :meth:`ScenarioSpec.compile` turns it into a
+:class:`CompiledScenario`: a ``(StreamNetwork, event timeline)`` pair
+whose timeline has been validated event-by-event against a shadow copy of
+the evolving network, so replaying it through
+:class:`repro.online.OnlineOrchestrator` (or the serve daemon's load
+driver) never raises.
+
+Design rules:
+
+* **Frozen and canonical.**  Specs are frozen dataclasses; component
+  params are canonicalized to sorted JSON, so equal specs compare equal,
+  hash equal, and round-trip bit-exactly through
+  :meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`.
+* **Seed-deterministic.**  Everything derives from ``spec.seed``: the
+  topology uses ``seed``, the demand trace ``seed + 1``, the failure
+  model ``seed + 2``.  Same spec, same seed -> byte-identical timeline.
+* **Composable.**  Demand and failure timelines are generated
+  independently, then merged chronologically and re-validated through the
+  shadow replay; events invalidated by the interleaving (e.g. a demand
+  change for a stream a rack outage already removed) are dropped, exactly
+  like the churn generator's redraw loop.
+
+The named catalog lives in :mod:`repro.scenarios.registry`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.core.commodity import StreamNetwork
+from repro.exceptions import ModelError
+from repro.online.events import NetworkEvent
+from repro.online.rebuild import apply_event
+from repro.scenarios.churn import ChurnSpec, churn_network, churn_trace
+from repro.scenarios.demand import diurnal_events, flash_crowd_events
+from repro.scenarios.failures import (
+    CorrelatedFailureSpec,
+    correlated_failure_events,
+)
+from repro.scenarios.layered import (
+    diamond_network,
+    layered_network,
+    tandem_network,
+)
+from repro.scenarios.named import (
+    figure1_network,
+    financial_pipeline_network,
+    sensor_fusion_network,
+)
+from repro.scenarios.random_network import (
+    RandomNetworkSpec,
+    random_stream_network,
+)
+from repro.scenarios.topologies import (
+    FatTreeSpec,
+    IspSpec,
+    fat_tree_network,
+    isp_network,
+    sparse_large_spec,
+)
+
+__all__ = [
+    "TopologySpec",
+    "DemandSpec",
+    "FailureSpec",
+    "PlacementSpec",
+    "ScenarioSpec",
+    "CompiledScenario",
+    "TOPOLOGY_KINDS",
+    "DEMAND_KINDS",
+    "FAILURE_KINDS",
+    "PLACEMENT_KINDS",
+]
+
+Params = Union[str, Mapping[str, Any]]
+
+
+def _canonical_json(params: Params) -> str:
+    """Sorted, separator-free JSON -- the canonical form all specs store."""
+    if isinstance(params, str):
+        try:
+            parsed = json.loads(params)
+        except json.JSONDecodeError as exc:
+            raise ModelError(f"params is not valid JSON: {exc}") from None
+    else:
+        parsed = dict(params)
+    if not isinstance(parsed, dict):
+        raise ModelError("params must be a JSON object")
+    try:
+        return json.dumps(parsed, sort_keys=True, separators=(",", ":"))
+    except TypeError as exc:
+        raise ModelError(f"params must be JSON-serializable: {exc}") from None
+
+
+# kind -> builder(seed, **params) -> StreamNetwork.  Deterministic builders
+# (diamond, figure1, ...) simply ignore the seed.
+_TOPOLOGY_BUILDERS: Dict[str, Callable[..., StreamNetwork]] = {
+    "random": lambda seed, **p: random_stream_network(
+        RandomNetworkSpec(**p), seed=seed
+    ),
+    "churn-random": lambda seed, **p: churn_network(seed=seed, **p),
+    "sparse": lambda seed, num_nodes=120, num_commodities=16, **p: (
+        random_stream_network(
+            sparse_large_spec(num_nodes, num_commodities), seed=seed
+        )
+    ),
+    "fat-tree": lambda seed, **p: fat_tree_network(FatTreeSpec(**p), seed=seed),
+    "isp": lambda seed, **p: isp_network(IspSpec(**p), seed=seed),
+    "tandem": lambda seed, **p: tandem_network(**p),
+    "layered": lambda seed, **p: layered_network(**p),
+    "diamond": lambda seed, **p: diamond_network(**p),
+    "figure1": lambda seed, **p: figure1_network(**p),
+    "sensor-fusion": lambda seed, **p: sensor_fusion_network(**p),
+    "financial": lambda seed, **p: financial_pipeline_network(**p),
+}
+
+# kind -> builder(network, seed, **params) -> List[NetworkEvent]
+_DEMAND_BUILDERS: Dict[str, Callable[..., List[NetworkEvent]]] = {
+    "none": lambda network, seed, **p: [],
+    "churn": lambda network, seed, **p: churn_trace(
+        network, ChurnSpec(**p), seed=seed
+    ),
+    "diurnal": lambda network, seed, **p: diurnal_events(network, **p),
+    "flash-crowd": lambda network, seed, **p: flash_crowd_events(network, **p),
+}
+
+# kind -> builder(network, seed, **params) -> List[NetworkEvent]
+_FAILURE_BUILDERS: Dict[str, Callable[..., List[NetworkEvent]]] = {
+    "none": lambda network, seed, **p: [],
+    "correlated": lambda network, seed, **p: correlated_failure_events(
+        network, CorrelatedFailureSpec(**p), seed=seed
+    ),
+}
+
+_PLACEMENT_KINDS = ("static", "joint")
+
+TOPOLOGY_KINDS = tuple(sorted(_TOPOLOGY_BUILDERS))
+DEMAND_KINDS = tuple(sorted(_DEMAND_BUILDERS))
+FAILURE_KINDS = tuple(sorted(_FAILURE_BUILDERS))
+PLACEMENT_KINDS = _PLACEMENT_KINDS
+
+
+class _ComponentSpec:
+    """Shared canonicalization/validation for the kind+params components."""
+
+    kind: str
+    params: Params
+    _KINDS: tuple = ()
+    _LABEL = "component"
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ModelError(
+                f"unknown {self._LABEL} kind {self.kind!r}; expected one of "
+                f"{sorted(self._KINDS)}"
+            )
+        object.__setattr__(self, "params", _canonical_json(self.params))
+
+    @property
+    def options(self) -> Dict[str, Any]:
+        """The params as a plain dict (JSON round-tripped)."""
+        assert isinstance(self.params, str)
+        return json.loads(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.options}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "_ComponentSpec":
+        return cls(  # type: ignore[call-arg]
+            kind=data.get("kind", "none"), params=data.get("params", {})
+        )
+
+
+@dataclass(frozen=True)
+class TopologySpec(_ComponentSpec):
+    """Which :class:`StreamNetwork` to build (see ``TOPOLOGY_KINDS``)."""
+
+    kind: str = "random"
+    params: Params = "{}"
+    _KINDS = tuple(_TOPOLOGY_BUILDERS)
+    _LABEL = "topology"
+
+    def build(self, seed: int) -> StreamNetwork:
+        return _TOPOLOGY_BUILDERS[self.kind](seed, **self.options)
+
+
+@dataclass(frozen=True)
+class DemandSpec(_ComponentSpec):
+    """How offered rates evolve over the timeline (``DEMAND_KINDS``)."""
+
+    kind: str = "none"
+    params: Params = "{}"
+    _KINDS = tuple(_DEMAND_BUILDERS)
+    _LABEL = "demand"
+
+    def build(self, network: StreamNetwork, seed: int) -> List[NetworkEvent]:
+        return _DEMAND_BUILDERS[self.kind](network, seed, **self.options)
+
+
+@dataclass(frozen=True)
+class FailureSpec(_ComponentSpec):
+    """What breaks, and how correlated (``FAILURE_KINDS``)."""
+
+    kind: str = "none"
+    params: Params = "{}"
+    _KINDS = tuple(_FAILURE_BUILDERS)
+    _LABEL = "failure"
+
+    def build(self, network: StreamNetwork, seed: int) -> List[NetworkEvent]:
+        return _FAILURE_BUILDERS[self.kind](network, seed, **self.options)
+
+
+@dataclass(frozen=True)
+class PlacementSpec(_ComponentSpec):
+    """Whether task placement is fixed (``static``) or co-optimized with
+    routing/admission by :class:`repro.placement.JointPlacementLoop`
+    (``joint``; params forward to the loop constructor)."""
+
+    kind: str = "static"
+    params: Params = "{}"
+    _KINDS = _PLACEMENT_KINDS
+    _LABEL = "placement"
+
+
+def _merge_timelines(
+    network: StreamNetwork,
+    demand: List[NetworkEvent],
+    failures: List[NetworkEvent],
+) -> List[NetworkEvent]:
+    """Chronologically merge two validated timelines into one.
+
+    When either side is empty the other is returned untouched (it is
+    already shadow-validated, and bit-parity with the legacy generators
+    matters for committed benchmark baselines).  Otherwise events are
+    merged by intended iteration (demand wins ties), renumbered to
+    strictly increasing iterations, and re-validated against a shadow
+    replay of the *combined* timeline; events the interleaving has
+    invalidated are dropped.
+    """
+    if not failures:
+        return demand
+    if not demand:
+        return failures
+    merged = sorted(demand + failures, key=lambda e: e.at_iteration)
+    shadow = network
+    events: List[NetworkEvent] = []
+    last = 0
+    for event in merged:
+        at = max(last + 1, event.at_iteration)
+        candidate = dataclasses.replace(event, at_iteration=at)
+        try:
+            shadow = apply_event(shadow, candidate).network
+        except ModelError:
+            continue
+        events.append(candidate)
+        last = at
+    return events
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """The executable form of a spec: a network plus a replayable timeline."""
+
+    spec: "ScenarioSpec"
+    network: StreamNetwork
+    events: List[NetworkEvent]
+
+    def horizon(self, tail: int = 20) -> int:
+        """Iterations needed to replay the full timeline plus a ``tail`` of
+        quiet convergence iterations."""
+        last = self.events[-1].at_iteration if self.events else 0
+        return last + max(tail, 1)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative workload; see the module docstring.
+
+    ``seed`` drives everything: topology uses ``seed``, demand
+    ``seed + 1``, failures ``seed + 2`` (matching the long-standing
+    benchmark convention of ``TRACE_SEED = NETWORK_SEED + 1``).
+    """
+
+    name: str = "custom"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    demand: DemandSpec = field(default_factory=DemandSpec)
+    failures: FailureSpec = field(default_factory=FailureSpec)
+    placement: PlacementSpec = field(default_factory=PlacementSpec)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ModelError("scenario name must be non-empty")
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return dataclasses.replace(self, seed=seed)
+
+    def compile(self) -> CompiledScenario:
+        """Build the network and the shadow-validated event timeline."""
+        network = self.topology.build(self.seed)
+        demand = self.demand.build(network, self.seed + 1)
+        failures = self.failures.build(network, self.seed + 2)
+        events = _merge_timelines(network, demand, failures)
+        return CompiledScenario(spec=self, network=network, events=events)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dict; inverse of :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "topology": self.topology.to_dict(),
+            "demand": self.demand.to_dict(),
+            "failures": self.failures.to_dict(),
+            "placement": self.placement.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {
+            "name",
+            "seed",
+            "topology",
+            "demand",
+            "failures",
+            "placement",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ModelError(f"unknown scenario fields: {sorted(unknown)}")
+        def component(key: str, factory: Any) -> Any:
+            raw = data.get(key)
+            return factory.from_dict(raw) if raw is not None else factory()
+        return cls(
+            name=data.get("name", "custom"),
+            seed=int(data.get("seed", 0)),
+            topology=component("topology", TopologySpec),
+            demand=component("demand", DemandSpec),
+            failures=component("failures", FailureSpec),
+            placement=component("placement", PlacementSpec),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,424 @@
+"""Datacenter and ISP topology generators.
+
+The ROADMAP's scenario expansion: beyond the paper's synthetic random
+graphs, build stream networks over topologies with real structure --
+
+* :func:`fat_tree_network` -- a k-ary fat-tree/Clos datacenter fabric
+  (Al-Fares et al.): ``k`` pods of edge/aggregation switches, a
+  ``(k/2)^2`` core, and ``k^3/4`` hosts.  Streams are task chains riding
+  the canonical up/down path between two distinct pods, so every chain
+  has the same length and placement freedom at each tier.
+* :func:`isp_network` -- an ISP-style scale-free graph
+  (Barabási–Albert preferential attachment): heavy-tailed degrees, a few
+  hub routers, short diameters.  Streams are exact-hop-distance layered
+  DAGs between router pairs, the same near-shortest-path structure
+  :func:`repro.placement.feasible_hosts` searches.
+* :func:`sparse_large_spec` -- the sparse many-commodity
+  :class:`RandomNetworkSpec` used by the scale-ladder and async
+  benchmarks (moved here from ``repro.validate.strategies``, which
+  re-exports it).
+
+All generation is deterministic given ``seed``.  Node naming is stable
+and strata are recoverable from names (``h<pod>_<i>``, ``e<pod>_<i>``,
+``a<pod>_<i>``, ``c<i>``, ``r<i>``), which the topology-invariant tests
+rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.commodity import Commodity, StreamNetwork, Task
+from repro.core.network import PhysicalNetwork
+from repro.core.utility import LinearUtility, UtilityFunction
+from repro.exceptions import ModelError
+from repro.scenarios.random_network import RandomNetworkSpec
+
+__all__ = [
+    "StreamRequest",
+    "FatTreeSpec",
+    "fat_tree_requests",
+    "fat_tree_network",
+    "IspSpec",
+    "isp_requests",
+    "isp_network",
+    "sparse_large_spec",
+]
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """A stream admission request *before* placement: the task chain, its
+    endpoints, and the offered rate -- the input both to the default
+    full-strata placement of :func:`fat_tree_network` / :func:`isp_network`
+    and to :class:`repro.placement.JointPlacementLoop`, which chooses the
+    hosts itself."""
+
+    name: str
+    tasks: Tuple[Task, ...]
+    source: str
+    sink: str
+    max_rate: float
+
+
+def sparse_large_spec(num_nodes: int, num_commodities: int) -> RandomNetworkSpec:
+    """A sparse many-commodity instance spec at roughly constant density.
+
+    Wide shallow layers keep per-commodity subgraphs small relative to the
+    extended edge set, so ``J*(E+V)`` dense work-cells dwarf the allowed
+    cells -- the scale regime of ``bench_scale_ladder.py``'s rungs.
+    """
+    width = max(3, num_nodes // 8)
+    return RandomNetworkSpec(
+        num_nodes=num_nodes,
+        num_commodities=num_commodities,
+        depth_range=(4, 6),
+        layer_width_range=(width, width + 2),
+        extra_edge_probability=0.15,
+    )
+
+
+@dataclass
+class FatTreeSpec:
+    """Knobs of the fat-tree generator.
+
+    ``k`` is the switch radix (even, >= 2): ``k`` pods, ``k/2`` edge and
+    ``k/2`` aggregation switches per pod, ``(k/2)^2`` core switches and
+    ``k/2`` hosts per edge switch.  Capacities shrink going up the tree
+    (hosts do the heavy processing; switches mostly forward) while link
+    bandwidth grows (core links are the fat ones).
+    """
+
+    k: int = 4
+    num_streams: int = 4
+    host_capacity_range: Tuple[float, float] = (40.0, 90.0)
+    switch_capacity_range: Tuple[float, float] = (20.0, 45.0)
+    edge_bandwidth_range: Tuple[float, float] = (20.0, 40.0)
+    core_bandwidth_range: Tuple[float, float] = (40.0, 80.0)
+    cost_range: Tuple[float, float] = (0.5, 2.0)
+    gain_range: Tuple[float, float] = (0.7, 1.2)
+    rate_range: Tuple[float, float] = (10.0, 40.0)
+    utility_factory: Optional[Callable[[int], UtilityFunction]] = None
+
+    def __post_init__(self) -> None:
+        if self.k < 2 or self.k % 2:
+            raise ModelError("k must be an even integer >= 2")
+        if self.num_streams < 1:
+            raise ModelError("num_streams must be >= 1")
+        if self.k < 4 and self.num_streams >= 1 and self.k == 2:
+            # k=2 has two pods; still fine -- streams just all share them
+            pass
+        if self.utility_factory is None:
+            self.utility_factory = lambda j: LinearUtility()
+
+
+def _fat_tree_names(k: int) -> Tuple[List[str], Dict[int, List[str]], Dict[int, List[str]], Dict[int, List[str]]]:
+    half = k // 2
+    cores = [f"c{i}" for i in range(half * half)]
+    edges = {p: [f"e{p}_{i}" for i in range(half)] for p in range(k)}
+    aggs = {p: [f"a{p}_{i}" for i in range(half)] for p in range(k)}
+    hosts = {
+        p: [f"h{p}_{e * half + m}" for e in range(half) for m in range(half)]
+        for p in range(k)
+    }
+    return cores, edges, aggs, hosts
+
+
+def fat_tree_requests(
+    spec: Optional[FatTreeSpec] = None, seed: int = 0
+) -> Tuple[PhysicalNetwork, List[StreamRequest], Dict[str, Dict[str, List[str]]]]:
+    """The fat-tree fabric plus its stream requests and default placements.
+
+    Returns ``(physical, requests, placements)``: the switch/host fabric,
+    one :class:`StreamRequest` per stream (the canonical 7-stage up/down
+    chain between two distinct pods), and the default *full-strata*
+    placement -- each task may run on every switch of its tier, leaving
+    the actual choice to routing.  :func:`fat_tree_network` materialises
+    these; :class:`repro.placement.JointPlacementLoop` instead picks
+    placements itself.  Deterministic given ``(spec, seed)``.
+    """
+    spec = spec or FatTreeSpec()
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0xFA7]))
+    k, half = spec.k, spec.k // 2
+    cores, edges, aggs, hosts = _fat_tree_names(k)
+
+    physical = PhysicalNetwork()
+    for name in cores:
+        physical.add_server(name, float(rng.uniform(*spec.switch_capacity_range)))
+    for p in range(k):
+        for name in aggs[p] + edges[p]:
+            physical.add_server(name, float(rng.uniform(*spec.switch_capacity_range)))
+        for name in hosts[p]:
+            physical.add_server(name, float(rng.uniform(*spec.host_capacity_range)))
+
+    def both(tail: str, head: str, bandwidth: float) -> None:
+        physical.add_link(tail, head, bandwidth)
+        physical.add_link(head, tail, bandwidth)
+
+    for p in range(k):
+        for e in range(half):
+            for m in range(half):
+                both(
+                    hosts[p][e * half + m],
+                    edges[p][e],
+                    float(rng.uniform(*spec.edge_bandwidth_range)),
+                )
+            for a in range(half):
+                both(
+                    edges[p][e],
+                    aggs[p][a],
+                    float(rng.uniform(*spec.edge_bandwidth_range)),
+                )
+        for a in range(half):
+            for m in range(half):
+                both(
+                    aggs[p][a],
+                    cores[a * half + m],
+                    float(rng.uniform(*spec.core_bandwidth_range)),
+                )
+
+    stage_names = ("ingest", "up_edge", "up_agg", "core", "down_agg", "down_edge", "egress")
+    requests: List[StreamRequest] = []
+    placements: Dict[str, Dict[str, List[str]]] = {}
+    for j in range(spec.num_streams):
+        src_pod = int(rng.integers(k))
+        dst_pod = int((src_pod + 1 + rng.integers(k - 1)) % k)
+        source = hosts[src_pod][int(rng.integers(len(hosts[src_pod])))]
+        sink = f"sink{j}"
+        physical.add_sink(sink)
+        for h in hosts[dst_pod]:
+            physical.add_link(
+                h, sink, float(rng.uniform(*spec.edge_bandwidth_range))
+            )
+        tasks = tuple(
+            Task(
+                f"{stage}_{j}",
+                cost=float(rng.uniform(*spec.cost_range)),
+                gain=float(rng.uniform(*spec.gain_range)),
+            )
+            for stage in stage_names
+        )
+        placements[f"stream{j}"] = {
+            tasks[0].name: [source],
+            tasks[1].name: edges[src_pod],
+            tasks[2].name: aggs[src_pod],
+            tasks[3].name: cores,
+            tasks[4].name: aggs[dst_pod],
+            tasks[5].name: edges[dst_pod],
+            tasks[6].name: hosts[dst_pod],
+        }
+        requests.append(
+            StreamRequest(
+                name=f"stream{j}",
+                tasks=tasks,
+                source=source,
+                sink=sink,
+                max_rate=float(rng.uniform(*spec.rate_range)),
+            )
+        )
+    return physical, requests, placements
+
+
+def fat_tree_network(spec: Optional[FatTreeSpec] = None, seed: int = 0) -> StreamNetwork:
+    """A k-ary fat-tree fabric with ``num_streams`` cross-pod task chains.
+
+    Every stream's chain is the canonical 7-stage up/down path -- source
+    host, source-pod edge and aggregation tiers, core, destination-pod
+    aggregation and edge tiers, destination hosts -- followed by a
+    per-stream sink fed by *all* destination-pod hosts, so the final
+    placement stays a routing choice.  Unreachable hosts are pruned by the
+    task-chain builder.  Deterministic given ``(spec, seed)``.
+    """
+    spec = spec or FatTreeSpec()
+    physical, requests, placements = fat_tree_requests(spec, seed)
+    network = StreamNetwork(physical=physical)
+    for j, req in enumerate(requests):
+        network.add_commodity(
+            Commodity.from_task_chain(
+                name=req.name,
+                network=physical,
+                tasks=list(req.tasks),
+                placement=placements[req.name],
+                source=req.source,
+                sink=req.sink,
+                max_rate=req.max_rate,
+                utility=spec.utility_factory(j),  # type: ignore[misc]
+            )
+        )
+    network.validate()
+    return network
+
+
+@dataclass
+class IspSpec:
+    """Knobs of the ISP (Barabási–Albert) generator.
+
+    ``num_routers`` nodes are grown with preferential attachment
+    (``attachment`` links per new node), giving the heavy-tailed degree
+    profile of router-level ISP maps.  Streams are layered exact-hop DAGs
+    between router pairs at chain length in ``chain_range``.
+    """
+
+    num_routers: int = 32
+    attachment: int = 2
+    num_streams: int = 4
+    chain_range: Tuple[int, int] = (3, 5)
+    capacity_range: Tuple[float, float] = (25.0, 80.0)
+    bandwidth_range: Tuple[float, float] = (15.0, 60.0)
+    cost_range: Tuple[float, float] = (0.5, 2.0)
+    gain_range: Tuple[float, float] = (0.7, 1.2)
+    rate_range: Tuple[float, float] = (10.0, 40.0)
+    utility_factory: Optional[Callable[[int], UtilityFunction]] = None
+
+    def __post_init__(self) -> None:
+        if self.num_routers < 4:
+            raise ModelError("num_routers must be >= 4")
+        if not 1 <= self.attachment < self.num_routers:
+            raise ModelError("attachment must be in [1, num_routers)")
+        if self.num_streams < 1:
+            raise ModelError("num_streams must be >= 1")
+        lo, hi = self.chain_range
+        if not 2 <= lo <= hi:
+            raise ModelError("chain_range must satisfy 2 <= lo <= hi")
+        if self.utility_factory is None:
+            self.utility_factory = lambda j: LinearUtility()
+
+
+def _bfs_distances(adj: Dict[str, List[str]], start: str) -> Dict[str, int]:
+    dist = {start: 0}
+    frontier = [start]
+    while frontier:
+        nxt: List[str] = []
+        for u in frontier:
+            for v in adj[u]:
+                if v not in dist:
+                    dist[v] = dist[u] + 1
+                    nxt.append(v)
+        frontier = nxt
+    return dist
+
+
+def isp_requests(
+    spec: Optional[IspSpec] = None, seed: int = 0
+) -> Tuple[PhysicalNetwork, List[StreamRequest], Dict[str, Dict[str, List[str]]]]:
+    """The ISP graph plus its stream requests and default placements.
+
+    Returns ``(physical, requests, placements)``: the router graph, one
+    :class:`StreamRequest` per stream (a chain between a router pair at
+    hop distance within ``chain_range``), and the default exact-hop-layer
+    placement (task ``l`` on every router at exactly ``l`` hops from the
+    source and ``d - l`` from the target).  Deterministic given
+    ``(spec, seed)``.
+    """
+    import networkx as nx
+
+    spec = spec or IspSpec()
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 0x15B]))
+    graph = nx.barabasi_albert_graph(
+        spec.num_routers, spec.attachment, seed=int(rng.integers(2**31))
+    )
+    routers = [f"r{i}" for i in range(spec.num_routers)]
+
+    physical = PhysicalNetwork()
+    for name in routers:
+        physical.add_server(name, float(rng.uniform(*spec.capacity_range)))
+    adj: Dict[str, List[str]] = {name: [] for name in routers}
+    for u, v in sorted(graph.edges()):
+        tail, head = routers[u], routers[v]
+        physical.add_link(tail, head, float(rng.uniform(*spec.bandwidth_range)))
+        physical.add_link(head, tail, float(rng.uniform(*spec.bandwidth_range)))
+        adj[tail].append(head)
+        adj[head].append(tail)
+
+    requests: List[StreamRequest] = []
+    placements: Dict[str, Dict[str, List[str]]] = {}
+    lo, hi = spec.chain_range
+    for j in range(spec.num_streams):
+        placement: Optional[Dict[str, List[str]]] = None
+        tasks: List[Task] = []
+        source = sink_router = ""
+        for _attempt in range(200):
+            source = routers[int(rng.integers(len(routers)))]
+            dist_s = _bfs_distances(adj, source)
+            candidates = [
+                (r, d) for r, d in sorted(dist_s.items()) if lo <= d <= hi
+            ]
+            if not candidates:
+                continue
+            sink_router, depth = candidates[int(rng.integers(len(candidates)))]
+            dist_t = _bfs_distances(adj, sink_router)
+            layers = [
+                sorted(
+                    r
+                    for r in routers
+                    if dist_s.get(r) == level and dist_t.get(r) == depth - level
+                )
+                for level in range(depth + 1)
+            ]
+            if all(layers):
+                tasks = [
+                    Task(
+                        f"hop{level}_{j}",
+                        cost=float(rng.uniform(*spec.cost_range)),
+                        gain=float(rng.uniform(*spec.gain_range)),
+                    )
+                    for level in range(depth + 1)
+                ]
+                placement = {
+                    task.name: layer for task, layer in zip(tasks, layers)
+                }
+                break
+        if placement is None:
+            raise ModelError(
+                f"no router pair at chain length {spec.chain_range} after 200 "
+                f"attempts; grow num_routers or widen chain_range"
+            )
+        sink = f"sink{j}"
+        physical.add_sink(sink)
+        physical.add_link(
+            sink_router, sink, float(rng.uniform(*spec.bandwidth_range))
+        )
+        placements[f"stream{j}"] = placement
+        requests.append(
+            StreamRequest(
+                name=f"stream{j}",
+                tasks=tuple(tasks),
+                source=source,
+                sink=sink,
+                max_rate=float(rng.uniform(*spec.rate_range)),
+            )
+        )
+    return physical, requests, placements
+
+
+def isp_network(spec: Optional[IspSpec] = None, seed: int = 0) -> StreamNetwork:
+    """A scale-free ISP graph with ``num_streams`` exact-hop stream DAGs.
+
+    Routers are servers; every undirected BA edge becomes two directed
+    links.  For each stream a router pair ``(s, t)`` at hop distance ``d``
+    in ``chain_range`` is drawn; task ``l`` may be placed on any router at
+    exactly ``l`` hops from ``s`` *and* ``d - l`` hops from ``t`` -- the
+    near-shortest-path DAG -- and a per-stream sink hangs off ``t``.
+    Deterministic given ``(spec, seed)``.
+    """
+    spec = spec or IspSpec()
+    physical, requests, placements = isp_requests(spec, seed)
+    network = StreamNetwork(physical=physical)
+    for j, req in enumerate(requests):
+        network.add_commodity(
+            Commodity.from_task_chain(
+                name=req.name,
+                network=physical,
+                tasks=list(req.tasks),
+                placement=placements[req.name],
+                source=req.source,
+                sink=req.sink,
+                max_rate=req.max_rate,
+                utility=spec.utility_factory(j),  # type: ignore[misc]
+            )
+        )
+    network.validate()
+    return network

@@ -8,7 +8,7 @@ server: a 20 ms window caps a strictly request-response client at ~50
 events/s, while a pipeline of 16 rides the same window at hundreds.
 
 :func:`replay_trace` is the load driver: it replays a
-:func:`repro.workloads.churn_trace` event timeline against a live daemon,
+:func:`repro.scenarios.churn_trace` event timeline against a live daemon,
 records one latency sample per event (enqueue to response), and reports
 sustained events/sec plus latency quantiles -- the numbers
 ``benchmarks/bench_serve.py`` gates and ``BENCH_SERVE.json`` records.
@@ -17,6 +17,11 @@ Run it from the command line against a running daemon (the driver fetches
 the model from ``hello`` and generates a deterministic trace against it)::
 
     python -m repro.serve.client --port 7471 --events 200 --pipeline 16
+
+or replay a named scenario's compiled timeline against a daemon started
+with the same scenario (``repro serve --scenario serve-diurnal-30``)::
+
+    python -m repro.serve.client --port 7471 --scenario serve-diurnal-30
 """
 
 from __future__ import annotations
@@ -219,10 +224,22 @@ def replay_trace(
 def _generate_trace(model: Dict[str, Any], num_events: int, seed: int):
     """A deterministic churn trace against the server's own model."""
     from repro.io import network_from_dict
-    from repro.workloads.churn import ChurnSpec, churn_trace
+    from repro.scenarios import ChurnSpec, churn_trace
 
     network = network_from_dict(model)
     return churn_trace(network, ChurnSpec(num_events=num_events), seed=seed)
+
+
+def _scenario_trace(name: str, seed: Optional[int]):
+    """The compiled event timeline of a named scenario.
+
+    Replays correctly against a daemon started with ``repro serve
+    --scenario <name>`` (same seed): both sides compile the same spec, so
+    the trace references exactly the commodities/nodes the server holds.
+    """
+    from repro.scenarios import scenario
+
+    return scenario(name, seed=seed).compile().events
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -235,7 +252,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--port", type=int, required=True)
     parser.add_argument("--events", type=int, default=200)
     parser.add_argument("--pipeline", type=int, default=16)
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="trace seed (default: 0, or the scenario's pinned seed)",
+    )
+    parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="replay the named scenario's compiled trace instead of a "
+        "generated churn trace (start the daemon with "
+        "'repro serve --scenario NAME' so the models match; "
+        "--events is ignored)",
+    )
     parser.add_argument(
         "--shutdown", action="store_true",
         help="send a shutdown (drain) request after the replay",
@@ -248,7 +275,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     with ServeClient(args.host, args.port) as client:
         hello = client.hello()
-        events = _generate_trace(hello["model"], args.events, args.seed)
+        if args.scenario is not None:
+            events = _scenario_trace(args.scenario, args.seed)
+        else:
+            events = _generate_trace(
+                hello["model"], args.events, args.seed or 0
+            )
         report = replay_trace(client, events, pipeline=args.pipeline)
         stats = client.stats()
         if args.shutdown:

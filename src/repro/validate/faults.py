@@ -46,7 +46,7 @@ from repro.core.routing import initial_routing, uniform_routing
 from repro.core.solution import Solution, build_solution
 from repro.core.transform import ExtendedNetwork, build_extended_network
 from repro.validate.checks import InvariantChecker, Tolerances
-from repro.workloads import diamond_network
+from repro.scenarios import diamond_network
 
 __all__ = ["FAULT_NAMES", "SelfTestRecord", "inject_fault", "run_self_test"]
 

@@ -21,8 +21,13 @@ import numpy as np
 
 from repro.core.routing import RoutingState, uniform_routing, validate_routing
 from repro.core.transform import ExtendedNetwork, build_extended_network
-from repro.workloads import diamond_network, figure1_network, random_stream_network
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import (
+    RandomNetworkSpec,
+    diamond_network,
+    figure1_network,
+    random_stream_network,
+    sparse_large_spec,
+)
 
 __all__ = [
     "NETWORK_FACTORIES",
@@ -38,6 +43,7 @@ __all__ = [
     "event_sequences",
     "sparse_instances",
     "delivery_schedules",
+    "scenario_specs",
 ]
 
 # the named paper instances randomized tests draw from
@@ -122,23 +128,6 @@ def random_extended_network(
 SPARSE_SIZE_TIERS = [(24, 4), (60, 8), (120, 16), (250, 32), (400, 64)]
 
 
-def sparse_large_spec(num_nodes: int, num_commodities: int) -> RandomNetworkSpec:
-    """A sparse many-commodity instance spec at roughly constant density.
-
-    Wide shallow layers keep per-commodity subgraphs small relative to the
-    extended edge set, so ``J*(E+V)`` dense work-cells dwarf the allowed
-    cells -- the scale regime of `bench_scale_ladder.py`'s rungs.
-    """
-    width = max(3, num_nodes // 8)
-    return RandomNetworkSpec(
-        num_nodes=num_nodes,
-        num_commodities=num_commodities,
-        depth_range=(4, 6),
-        layer_width_range=(width, width + 2),
-        extra_edge_probability=0.15,
-    )
-
-
 def oracle_seed_matrix(env: Optional[str] = None) -> List[int]:
     """The CI seed matrix: ``FUZZ_SEEDS`` (comma/space separated) or 0-4.
 
@@ -173,7 +162,7 @@ def event_sequences(min_events: int = 1, max_events: int = 8):
     """Strategy over ``(stream_network, events)`` pairs for churn testing.
 
     Draws a random instance plus a replayable mixed event timeline from
-    :func:`repro.workloads.churn.churn_trace`.  Because the churn generator
+    :func:`repro.scenarios.churn_trace`.  Because the churn generator
     shadow-validates every event, any drawn sequence can be applied --
     incrementally or from scratch -- without raising, so property tests can
     focus on the interesting assertion (bit-identity, epoch monotonicity,
@@ -182,7 +171,7 @@ def event_sequences(min_events: int = 1, max_events: int = 8):
     """
     from hypothesis import strategies as st
 
-    from repro.workloads.churn import ChurnSpec, churn_network, churn_trace
+    from repro.scenarios import ChurnSpec, churn_network, churn_trace
 
     @st.composite
     def _draw(draw):
@@ -238,6 +227,77 @@ def delivery_schedules(max_drop: float = 0.15):
         seed = draw(st.integers(0, 10**6))
         staleness = draw(st.integers(1, 4))
         return spec, seed, staleness
+
+    return _draw()
+
+
+def scenario_specs(compiled: bool = False):
+    """Strategy over declarative :class:`repro.scenarios.ScenarioSpec` draws.
+
+    Composes a small random topology with one of the demand shapes
+    (churn / diurnal / flash-crowd) and optionally a correlated-failure
+    burst, plus a drawn seed -- the whole surface of
+    :meth:`~repro.scenarios.ScenarioSpec.compile`.  With ``compiled=True``
+    the strategy returns ``(spec, CompiledScenario)`` pairs so property
+    tests skip the (deterministic but non-trivial) compile cost on
+    shrunk re-draws.  Shrinking walks toward the quiet scenario: tiny
+    topology, no failures, short timelines.
+    """
+    from hypothesis import strategies as st
+
+    from repro.scenarios import (
+        DemandSpec,
+        FailureSpec,
+        ScenarioSpec,
+        TopologySpec,
+    )
+
+    @st.composite
+    def _draw(draw):
+        topology = TopologySpec(
+            "churn-random",
+            {
+                "num_nodes": draw(st.integers(12, 24)),
+                "num_commodities": draw(st.integers(2, 4)),
+            },
+        )
+        demand_kind = draw(st.sampled_from(["churn", "diurnal", "flash-crowd"]))
+        if demand_kind == "churn":
+            demand = DemandSpec(
+                "churn", {"num_events": draw(st.integers(1, 8))}
+            )
+        elif demand_kind == "diurnal":
+            demand = DemandSpec(
+                "diurnal",
+                {"num_samples": draw(st.integers(1, 6)), "iteration_gap": 8},
+            )
+        else:
+            samples = draw(st.integers(2, 6))
+            demand = DemandSpec(
+                "flash-crowd",
+                {
+                    "num_samples": samples,
+                    "spike_sample": draw(st.integers(0, samples - 1)),
+                    "iteration_gap": 8,
+                },
+            )
+        failures = FailureSpec()
+        if draw(st.booleans()):
+            failures = FailureSpec(
+                "correlated",
+                {
+                    "num_bursts": draw(st.integers(1, 2)),
+                    "cluster_size": draw(st.integers(1, 3)),
+                },
+            )
+        spec = ScenarioSpec(
+            name="drawn",
+            topology=topology,
+            demand=demand,
+            failures=failures,
+            seed=draw(st.integers(0, 10**4)),
+        )
+        return (spec, spec.compile()) if compiled else spec
 
     return _draw()
 

@@ -1,43 +1,35 @@
-"""Workload generators: random networks, controlled topologies, arrival traces."""
+"""Deprecated: workload construction moved to :mod:`repro.scenarios`.
 
-from repro.workloads.churn import ChurnSpec, churn_network, churn_trace
-from repro.workloads.layered import diamond_network, layered_network, tandem_network
-from repro.workloads.random_network import (
-    RandomNetworkSpec,
-    paper_figure4_network,
-    random_stream_network,
-)
-from repro.workloads.scenarios import (
-    figure1_network,
-    financial_pipeline_network,
-    sensor_fusion_network,
-)
-from repro.workloads.traces import (
-    TraceStats,
-    constant_trace,
-    mmpp_trace,
-    onoff_trace,
-    poisson_trace,
-    trace_stats,
-)
+This package is a compatibility shim.  Every name it used to export now
+lives in ``repro.scenarios`` (same signatures, same seeds, same outputs);
+the first access to each legacy name emits a :class:`DeprecationWarning`
+naming the replacement.  The shims will be removed next release --
+migrate imports to ``repro.scenarios``.
+"""
 
-__all__ = [
-    "ChurnSpec",
-    "churn_network",
-    "churn_trace",
-    "diamond_network",
-    "layered_network",
-    "tandem_network",
-    "RandomNetworkSpec",
-    "paper_figure4_network",
-    "random_stream_network",
-    "figure1_network",
-    "financial_pipeline_network",
-    "sensor_fusion_network",
-    "TraceStats",
-    "constant_trace",
-    "mmpp_trace",
-    "onoff_trace",
-    "poisson_trace",
-    "trace_stats",
-]
+from repro.workloads._shim import make_shim
+
+__getattr__, __dir__, __all__ = make_shim(
+    shim="repro.workloads",
+    target="repro.scenarios",
+    names=(
+        "ChurnSpec",
+        "churn_network",
+        "churn_trace",
+        "diamond_network",
+        "layered_network",
+        "tandem_network",
+        "RandomNetworkSpec",
+        "paper_figure4_network",
+        "random_stream_network",
+        "figure1_network",
+        "financial_pipeline_network",
+        "sensor_fusion_network",
+        "TraceStats",
+        "constant_trace",
+        "mmpp_trace",
+        "onoff_trace",
+        "poisson_trace",
+        "trace_stats",
+    ),
+)

@@ -1,0 +1,55 @@
+"""Deprecation machinery for the ``repro.workloads`` -> ``repro.scenarios``
+move.
+
+Each legacy module replaces its body with a lazy ``__getattr__`` built by
+:func:`make_shim`: the first access to each legacy name warns once per
+process (mirroring the ``repro.api`` hot-state shims) with the exact
+replacement spelled out, then resolves against the new home.  Nothing is
+imported eagerly, so merely having ``repro.workloads`` on an import path
+stays silent until a deprecated name is actually used.
+"""
+
+from __future__ import annotations
+
+import importlib
+import warnings
+from typing import Any, Callable, List, Sequence, Set, Tuple
+
+# (shim module, legacy name) pairs that have already warned this process
+_WARNED: Set[Tuple[str, str]] = set()
+
+
+def _reset_warned() -> None:
+    """Forget past warnings (test hook: lets warn-once be asserted)."""
+    _WARNED.clear()
+
+
+def make_shim(
+    shim: str,
+    target: str,
+    names: Sequence[str],
+) -> Tuple[Callable[[str], Any], Callable[[], List[str]], List[str]]:
+    """Build ``(__getattr__, __dir__, __all__)`` for a deprecated module.
+
+    ``shim`` is the legacy module path (for the warning text), ``target``
+    the new home every name in ``names`` resolves to.
+    """
+
+    def __getattr__(name: str) -> Any:
+        if name in names:
+            key = (shim, name)
+            if key not in _WARNED:
+                _WARNED.add(key)
+                warnings.warn(
+                    f"importing {name!r} from {shim} is deprecated and will "
+                    f"be removed next release; use {target}.{name}",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            return getattr(importlib.import_module(target), name)
+        raise AttributeError(f"module {shim!r} has no attribute {name!r}")
+
+    def __dir__() -> List[str]:
+        return sorted(names)
+
+    return __getattr__, __dir__, list(names)

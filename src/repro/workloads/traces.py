@@ -1,132 +1,16 @@
-"""Synthetic arrival traces: the "bursty and unpredictable" inputs the paper
-motivates (Section 1).
+"""Deprecated: moved to :mod:`repro.scenarios.demand`."""
 
-All generators return slotted *volume* traces (data units per slot) and are
-deterministic given a seed.  They feed the
-:class:`~repro.core.admission.AdmissionController` examples and tests: the
-optimiser provisions sustained rates, the token bucket enforces them against
-these traces.
-"""
+from repro.workloads._shim import make_shim
 
-from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Optional
-
-import numpy as np
-
-from repro.exceptions import ModelError
-
-__all__ = [
-    "constant_trace",
-    "poisson_trace",
-    "onoff_trace",
-    "mmpp_trace",
-    "TraceStats",
-    "trace_stats",
-]
-
-
-def constant_trace(rate: float, num_slots: int) -> np.ndarray:
-    """Deterministic fluid arrivals: ``rate`` units every slot."""
-    if rate < 0:
-        raise ModelError("rate must be >= 0")
-    if num_slots < 1:
-        raise ModelError("num_slots must be >= 1")
-    return np.full(num_slots, float(rate))
-
-
-def poisson_trace(rate: float, num_slots: int, seed: int = 0) -> np.ndarray:
-    """Poisson arrivals with mean ``rate`` per slot."""
-    if rate < 0:
-        raise ModelError("rate must be >= 0")
-    if num_slots < 1:
-        raise ModelError("num_slots must be >= 1")
-    rng = np.random.default_rng(seed)
-    return rng.poisson(rate, size=num_slots).astype(float)
-
-
-def onoff_trace(
-    peak_rate: float,
-    num_slots: int,
-    on_probability: float = 0.3,
-    mean_burst_length: float = 5.0,
-    seed: int = 0,
-) -> np.ndarray:
-    """Markovian on/off bursts: ``peak_rate`` while ON, silence while OFF.
-
-    ``on_probability`` sets the stationary ON fraction, so the long-run mean
-    rate is ``peak_rate * on_probability``.
-    """
-    if peak_rate < 0:
-        raise ModelError("peak_rate must be >= 0")
-    if not 0.0 < on_probability < 1.0:
-        raise ModelError("on_probability must be in (0, 1)")
-    if mean_burst_length <= 0:
-        raise ModelError("mean_burst_length must be > 0")
-    rng = np.random.default_rng(seed)
-    p_off = 1.0 / mean_burst_length  # ON -> OFF
-    p_on = p_off * on_probability / (1.0 - on_probability)  # OFF -> ON
-    trace = np.zeros(num_slots)
-    on = rng.random() < on_probability
-    for t in range(num_slots):
-        trace[t] = peak_rate if on else 0.0
-        if on:
-            on = rng.random() >= p_off
-        else:
-            on = rng.random() < p_on
-    return trace
-
-
-def mmpp_trace(
-    rates: Optional[np.ndarray] = None,
-    num_slots: int = 1000,
-    mean_state_length: float = 20.0,
-    seed: int = 0,
-) -> np.ndarray:
-    """Markov-modulated Poisson process with uniform state switching.
-
-    ``rates`` lists the Poisson intensity of each modulating state (defaults
-    to a calm/normal/spike profile).  State holding times are geometric with
-    the given mean.
-    """
-    if rates is None:
-        rates = np.array([2.0, 10.0, 40.0])
-    rates = np.asarray(rates, dtype=float)
-    if rates.ndim != 1 or rates.size == 0 or np.any(rates < 0):
-        raise ModelError("rates must be a non-empty 1-D non-negative array")
-    if mean_state_length <= 1:
-        raise ModelError("mean_state_length must be > 1")
-    rng = np.random.default_rng(seed)
-    switch_probability = 1.0 / mean_state_length
-    trace = np.empty(num_slots)
-    state = int(rng.integers(rates.size))
-    for t in range(num_slots):
-        trace[t] = rng.poisson(rates[state])
-        if rng.random() < switch_probability:
-            state = int(rng.integers(rates.size))
-    return trace
-
-
-@dataclass
-class TraceStats:
-    mean: float
-    peak: float
-    burstiness: float  # peak / mean (1.0 for constant traces)
-    coefficient_of_variation: float
-
-
-def trace_stats(trace: np.ndarray) -> TraceStats:
-    """Summary statistics used by the admission-control examples."""
-    trace = np.asarray(trace, dtype=float)
-    if trace.size == 0:
-        raise ModelError("empty trace")
-    mean = float(trace.mean())
-    peak = float(trace.max())
-    std = float(trace.std())
-    return TraceStats(
-        mean=mean,
-        peak=peak,
-        burstiness=peak / mean if mean > 0 else float("inf"),
-        coefficient_of_variation=std / mean if mean > 0 else float("inf"),
-    )
+__getattr__, __dir__, __all__ = make_shim(
+    shim="repro.workloads.traces",
+    target="repro.scenarios.demand",
+    names=(
+        "constant_trace",
+        "poisson_trace",
+        "onoff_trace",
+        "mmpp_trace",
+        "TraceStats",
+        "trace_stats",
+    ),
+)

@@ -27,13 +27,13 @@ settings.register_profile("dev", max_examples=20, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.core.gradient import GradientConfig
 from repro.core.marginals import CostModel
-from repro.workloads import (
+from repro.scenarios import (
     diamond_network,
     figure1_network,
     paper_figure4_network,
     random_stream_network,
 )
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import RandomNetworkSpec
 
 
 @pytest.fixture(scope="session")

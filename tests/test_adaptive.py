@@ -10,7 +10,7 @@ from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.core.optimal import solve_lp
 from repro.core.penalty import InverseBarrier
 from repro.online import NodeFailure, apply_event
-from repro.workloads import figure1_network, paper_figure4_network
+from repro.scenarios import figure1_network, paper_figure4_network
 
 
 class TestConfigValidation:

@@ -11,7 +11,7 @@ from repro import build_extended_network
 from repro.core.admission import AdmissionController, TokenBucket
 from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.exceptions import ModelError
-from repro.workloads import diamond_network, onoff_trace, poisson_trace
+from repro.scenarios import diamond_network, onoff_trace, poisson_trace
 
 
 @pytest.fixture(scope="module")

@@ -17,7 +17,7 @@ from repro.analysis import (
     summarize_convergence,
 )
 from repro.core.optimal import solve_lp
-from repro.workloads import diamond_network
+from repro.scenarios import diamond_network
 
 
 class TestIterationsToFraction:

@@ -47,7 +47,7 @@ from repro.validate.strategies import (
     random_extended_network,
     random_routing,
 )
-from repro.workloads import figure1_network
+from repro.scenarios import figure1_network
 
 # the chaos trace of the soak: jittered delays, 5% loss, 5% duplication,
 # occasional 10-tick delay spikes -- every fault class at once

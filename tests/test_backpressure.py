@@ -12,7 +12,7 @@ from repro.core.backpressure import (
     BackpressureResult,
 )
 from repro.core.optimal import solve_lp
-from repro.workloads import diamond_network
+from repro.scenarios import diamond_network
 
 
 class TestConfig:

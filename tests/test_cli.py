@@ -8,7 +8,7 @@ import pytest
 
 from repro.cli import main
 from repro.io import load_network, save_network
-from repro.workloads import figure1_network
+from repro.scenarios import figure1_network
 
 
 @pytest.fixture()
@@ -240,3 +240,50 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestScenario:
+    def test_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "churn-120" in out and "fat-tree-16" in out
+
+    def test_list_json(self, capsys):
+        assert main(["scenario", "list", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.scenarios/1"
+        names = {row["name"] for row in doc["scenarios"]}
+        assert {"churn-120", "serve-mix-120", "fat-tree-16", "isp-32"} <= names
+
+    def test_run_online_json(self, capsys):
+        code = main(
+            ["scenario", "run", "churn-smoke-20", "--json", "--iterations", "150"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.scenario.run/1"
+        assert doc["mode"] == "online"
+        assert doc["events"] == 12
+        assert doc["final_utility"] > 0
+
+    def test_run_unknown_name(self):
+        from repro.exceptions import ModelError
+
+        with pytest.raises(ModelError):
+            main(["scenario", "run", "no-such-scenario"])
+
+    def test_solve_with_scenario_flag(self, capsys):
+        code = main(
+            ["solve", "--scenario", "figure1", "--max-iterations", "200", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["context"]["model"] == "scenario:figure1"
+
+    def test_solve_rejects_model_plus_scenario(self, model_path):
+        with pytest.raises(SystemExit):
+            main(["solve", str(model_path), "--scenario", "figure1"])
+
+    def test_solve_requires_some_input(self):
+        with pytest.raises(SystemExit):
+            main(["solve"])

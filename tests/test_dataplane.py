@@ -8,7 +8,7 @@ from repro import AdmissionController, build_extended_network
 from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.dataplane import FluidDataPlane
 from repro.exceptions import SimulationError
-from repro.workloads import (
+from repro.scenarios import (
     constant_trace,
     diamond_network,
     figure1_network,

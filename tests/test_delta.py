@@ -38,7 +38,7 @@ from repro.online import rebuild as rebuild_module
 from repro.parallel.backend import ParallelBackend
 from repro.validate import DifferentialOracle
 from repro.validate.strategies import event_sequences
-from repro.workloads import ChurnSpec, churn_network, churn_trace, figure1_network
+from repro.scenarios import ChurnSpec, churn_network, churn_trace, figure1_network
 
 
 def _interior_node(network):

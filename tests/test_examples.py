@@ -26,6 +26,7 @@ EXAMPLES = {
     "failure_recovery.py": "final utility",
     "figure4_reproduction.py": "optimal total throughput",
     "serve_demo.py": "Admission decision audit trail",
+    "scenario_tour.py": "joint vs routing-only",
 }
 
 

@@ -19,11 +19,11 @@ from repro.core.routing import (
     validate_routing,
 )
 from repro.core.utility import LogUtility
-from repro.workloads import (
+from repro.scenarios import (
     diamond_network,
     random_stream_network,
 )
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import RandomNetworkSpec
 
 
 class TestConfig:

@@ -22,14 +22,14 @@ from repro.core.routing import (
     uniform_routing,
     validate_routing,
 )
-from repro.workloads import (
+from repro.scenarios import (
     diamond_network,
     figure1_network,
     financial_pipeline_network,
     random_stream_network,
     sensor_fusion_network,
 )
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import RandomNetworkSpec
 
 
 class TestSolveFacade:

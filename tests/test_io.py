@@ -26,7 +26,7 @@ from repro.io import (
     utility_from_spec,
     utility_to_spec,
 )
-from repro.workloads import (
+from repro.scenarios import (
     diamond_network,
     figure1_network,
     financial_pipeline_network,

@@ -32,7 +32,7 @@ from repro.core.routing import (
     validate_routing,
 )
 from repro.core.utility import LogUtility
-from repro.workloads import diamond_network, figure1_network
+from repro.scenarios import diamond_network, figure1_network
 
 
 def interior_routing(ext, seed=0):

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.network import Link, Node, NodeKind, PhysicalNetwork
 from repro.exceptions import ModelError, ValidationError
-from repro.workloads import figure1_network
+from repro.scenarios import figure1_network
 
 
 class TestNode:

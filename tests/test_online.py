@@ -25,7 +25,7 @@ from repro.online import (
     emergency_shed,
     remap_routing,
 )
-from repro.workloads import diamond_network, figure1_network
+from repro.scenarios import diamond_network, figure1_network
 
 
 class TestEventValidation:

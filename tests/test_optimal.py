@@ -22,7 +22,7 @@ from repro.core.routing import (
 )
 from repro.core.utility import LinearUtility, LogUtility, SqrtUtility
 from repro.exceptions import SolverError
-from repro.workloads import diamond_network
+from repro.scenarios import diamond_network
 
 
 class TestArcFlowProblem:

@@ -6,7 +6,7 @@ import pytest
 from repro import GradientConfig, SolveOptions, solve
 from repro.exceptions import ModelError
 from repro.online import OnlineOrchestrator
-from repro.workloads import paper_figure4_network
+from repro.scenarios import paper_figure4_network
 
 
 @pytest.fixture(scope="module")

@@ -33,8 +33,8 @@ from repro.parallel import (
     resolve_backend,
 )
 from repro.parallel.backend import REPRO_BACKEND_ENV, _split_shards
-from repro.workloads import random_stream_network
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import random_stream_network
+from repro.scenarios import RandomNetworkSpec
 
 ITERATIONS = 25
 
@@ -474,8 +474,8 @@ class TestResourceHygiene:
             )
             from repro.core.routing import initial_routing
             from repro.parallel import ParallelBackend
-            from repro.workloads import random_stream_network
-            from repro.workloads.random_network import RandomNetworkSpec
+            from repro.scenarios import random_stream_network
+            from repro.scenarios import RandomNetworkSpec
 
             net = random_stream_network(
                 RandomNetworkSpec(num_nodes=16, num_commodities=2), seed=8

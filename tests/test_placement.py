@@ -9,7 +9,7 @@ from repro.core.network import PhysicalNetwork
 from repro.core.utility import LogUtility
 from repro.exceptions import ModelError
 from repro.placement import feasible_hosts, place_task_chain
-from repro.workloads import figure1_network
+from repro.scenarios import figure1_network
 
 
 def grid_physical():

@@ -35,7 +35,7 @@ from repro.validate.strategies import (
     seeds,
     small_random_spec,
 )
-from repro.workloads import diamond_network, figure1_network, random_stream_network
+from repro.scenarios import diamond_network, figure1_network, random_stream_network
 
 
 class TestFlowConservation:

@@ -19,7 +19,7 @@ from repro import (
 )
 from repro.io import result_to_dict
 from repro.online import DemandChange, OnlineOrchestrator
-from repro.workloads import diamond_network
+from repro.scenarios import diamond_network
 
 
 def _gradient():

@@ -25,8 +25,8 @@ from repro.core.routing import (
 )
 from repro.core.routing import solve_traffic_scalar, utilization_profile
 from repro.exceptions import InfeasibleError, RoutingError
-from repro.workloads import diamond_network, random_stream_network
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import diamond_network, random_stream_network
+from repro.scenarios import RandomNetworkSpec
 
 
 class TestInitialRouting:

@@ -44,7 +44,7 @@ from repro.serve import (
     protocol,
 )
 from repro.serve.client import ServeClient, replay_trace
-from repro.workloads import ChurnSpec, churn_network, churn_trace, figure1_network
+from repro.scenarios import ChurnSpec, churn_network, churn_trace, figure1_network
 
 
 def small_network():

@@ -16,7 +16,7 @@ from repro.simulation import (
     MarginalCostMessage,
     NodeAgent,
 )
-from repro.workloads import (
+from repro.scenarios import (
     diamond_network,
     figure1_network,
     sensor_fusion_network,

@@ -10,7 +10,7 @@ from repro.core.gradient import GradientAlgorithm, GradientConfig
 from repro.core.marginals import CostModel
 from repro.core.routing import initial_routing, uniform_routing
 from repro.core.solution import build_solution
-from repro.workloads import diamond_network, figure1_network
+from repro.scenarios import diamond_network, figure1_network
 
 
 @pytest.fixture(scope="module")

@@ -130,7 +130,7 @@ class TestKernelBitIdentity:
 
 class TestEndToEndIdentity:
     def test_solve_is_core_independent(self, monkeypatch):
-        from repro.workloads import paper_figure4_network
+        from repro.scenarios import paper_figure4_network
 
         net = paper_figure4_network(seed=7)
         cfg = GradientConfig(max_iterations=120)
@@ -144,7 +144,7 @@ class TestEndToEndIdentity:
         assert np.array_equal(via_array.utilities, via_object.utilities)
 
     def test_compare_cores_oracle(self):
-        from repro.workloads import paper_figure4_network
+        from repro.scenarios import paper_figure4_network
 
         report = compare_cores(
             paper_figure4_network(seed=7),

@@ -26,8 +26,8 @@ from repro import (
 from repro.core.routing import initial_routing
 from repro.parallel import SerialBackend, ThreadBackend
 from repro.validate import DifferentialOracle
-from repro.workloads import random_stream_network
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import random_stream_network
+from repro.scenarios import RandomNetworkSpec
 
 
 def _random_ext(seed: int, num_nodes: int = 18, num_commodities: int = 3):
@@ -227,7 +227,7 @@ class TestThreadLifecycle:
 class TestThreadOrchestrator:
     def test_orchestrator_with_thread_backend_matches_serial(self):
         from repro.online import DemandChange, OnlineOrchestrator
-        from repro.workloads import figure1_network
+        from repro.scenarios import figure1_network
 
         net = figure1_network()
         events = [DemandChange(at_iteration=60, commodity="S1", new_rate=25.0)]

@@ -9,7 +9,7 @@ import pytest
 from repro import build_extended_network
 from repro.core.transform import ExtEdgeKind, ExtNodeKind
 from repro.exceptions import TransformError
-from repro.workloads import diamond_network, figure1_network
+from repro.scenarios import diamond_network, figure1_network
 
 
 class TestBookkeeping:

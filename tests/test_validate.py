@@ -42,7 +42,7 @@ from repro.validate import (
     run_self_test,
 )
 from repro.validate.strategies import random_extended_network
-from repro.workloads import diamond_network, figure1_network
+from repro.scenarios import diamond_network, figure1_network
 
 FAST_GRADIENT = GradientConfig(eta=0.04, max_iterations=1500, record_every=50)
 

@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.commodity import validate_property1
 from repro.exceptions import ModelError
-from repro.workloads import (
+from repro.scenarios import (
     constant_trace,
     diamond_network,
     financial_pipeline_network,
@@ -22,7 +22,7 @@ from repro.workloads import (
     tandem_network,
     trace_stats,
 )
-from repro.workloads.random_network import RandomNetworkSpec
+from repro.scenarios import RandomNetworkSpec
 
 
 class TestRandomNetwork:
